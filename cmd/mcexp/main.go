@@ -1,0 +1,185 @@
+// Command mcexp regenerates the paper's evaluation artifacts: Table 1, the
+// four panels of Figures 3 and 4, the interpretation and routing ablations,
+// and the traffic-pattern and rate-heterogeneity extensions.
+//
+// Usage:
+//
+//	mcexp -exp figs                  # all four figure panels, paper scale
+//	mcexp -exp fig3m32 -scale quick  # one panel, ~10× cheaper simulation
+//	mcexp -exp all -out results/     # everything + CSV files
+//
+// Each figure prints as an ASCII panel (analysis and simulation curves for
+// Lm=256 and Lm=512) plus a steady-state accuracy summary; CSVs land in the
+// -out directory for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mcnet/internal/experiments"
+	"mcnet/internal/plot"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+	"mcnet/internal/validate"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|all")
+		scale  = flag.String("scale", "paper", "simulation scale: paper|quick")
+		out    = flag.String("out", "", "directory for CSV output (optional)")
+		points = flag.Int("points", 10, "operating points per curve")
+		reps   = flag.Int("reps", 1, "simulation replications per point")
+		seed   = flag.Uint64("seed", 1, "base RNG seed")
+		width  = flag.Int("width", 72, "chart width")
+		height = flag.Int("height", 18, "chart height")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "paper":
+		sc = experiments.PaperScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fatalf("unknown -scale %q", *scale)
+	}
+	sc.Seed = *seed
+	sc.Reps = *reps
+	runner := experiments.NewRunner(sc)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatalf("creating -out: %v", err)
+		}
+	}
+
+	run := map[string]bool{}
+	switch *exp {
+	case "all":
+		for _, e := range []string{"table1", "saturation", "fig3m32", "fig3m64", "fig4m32", "fig4m64",
+			"ablation-icn2", "ablation-routing", "baseline", "traffic-patterns", "rate-hetero"} {
+			run[e] = true
+		}
+	case "figs":
+		for _, e := range []string{"table1", "fig3m32", "fig3m64", "fig4m32", "fig4m64"} {
+			run[e] = true
+		}
+	default:
+		run[*exp] = true
+	}
+
+	did := 0
+	figure := func(name string, f func() (experiments.Figure, error)) {
+		if !run[name] {
+			return
+		}
+		did++
+		start := time.Now()
+		fig, err := f()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println(fig.Render(*width, *height))
+		fmt.Printf("steady-state mean |analysis−simulation|/simulation = %.1f%%   (%s, %v)\n\n",
+			100*fig.SteadyStateError(), *scale, time.Since(start).Round(time.Second))
+		writeCSV(*out, fig.Name, fig.Series())
+	}
+	study := func(name, title string, f func() ([]plot.Series, error)) {
+		if !run[name] {
+			return
+		}
+		did++
+		start := time.Now()
+		series, err := f()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println(plot.ASCII(title, series, *width, *height, plot.AutoCap(series)))
+		fmt.Printf("(%s, %v)\n\n", *scale, time.Since(start).Round(time.Second))
+		writeCSV(*out, name, series)
+	}
+
+	if run["table1"] {
+		did++
+		fmt.Println(experiments.Table1())
+	}
+	if run["saturation"] {
+		did++
+		rows, err := experiments.SaturationSummary()
+		if err != nil {
+			fatalf("saturation: %v", err)
+		}
+		fmt.Println("Saturation summary: model λ_sat vs the paper's plotted x-ranges")
+		fmt.Println(experiments.FormatSaturationSummary(rows))
+	}
+	if run["validate"] {
+		did++
+		for _, name := range []string{"org1", "org2"} {
+			org, err := system.ParseOrganization(name)
+			if err != nil {
+				fatalf("validate: %v", err)
+			}
+			rep, err := validate.Sweep(validate.Config{
+				Org: org, Par: units.Default(),
+				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain, Seed: sc.Seed,
+			}, *points, 1.0)
+			if err != nil {
+				fatalf("validate %s: %v", name, err)
+			}
+			fmt.Printf("Validation sweep — %s (M=32, Lm=256)\n%s\n", org.Name, rep)
+		}
+	}
+	figure("fig3m32", runner.Figure3M32)
+	figure("fig3m64", runner.Figure3M64)
+	figure("fig4m32", runner.Figure4M32)
+	figure("fig4m64", runner.Figure4M64)
+	study("ablation-icn2", "Ablation A: model interpretation vs simulation (Org1, M=32, Lm=256)",
+		func() ([]plot.Series, error) {
+			return runner.InterpretationAblation(system.Table1Org1(), units.Default(), *points)
+		})
+	study("ablation-routing", "Ablation B: balanced vs random-up routing (Org2, M=32, Lm=256)",
+		func() ([]plot.Series, error) {
+			return runner.RoutingAblation(system.Table1Org2(), units.Default(), *points)
+		})
+	study("baseline", "Baseline: wormhole-aware model vs store-and-forward M/M/1 (Org2, M=32, Lm=256)",
+		func() ([]plot.Series, error) {
+			return runner.BaselineComparison(system.Table1Org2(), units.Default(), *points)
+		})
+	study("traffic-patterns", "Extension 1: traffic patterns (Org2, M=32, Lm=256)",
+		func() ([]plot.Series, error) {
+			return runner.TrafficPatternStudy(system.Table1Org2(), units.Default(), *points)
+		})
+	study("rate-hetero", "Extension 2: per-cluster injection-rate heterogeneity",
+		func() ([]plot.Series, error) { return runner.RateHeterogeneityStudy(*points) })
+
+	if did == 0 {
+		fatalf("unknown -exp %q", *exp)
+	}
+}
+
+func writeCSV(dir, name string, series []plot.Series) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := plot.CSV(f, series); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcexp: "+format+"\n", args...)
+	os.Exit(1)
+}

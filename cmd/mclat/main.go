@@ -1,0 +1,102 @@
+// Command mclat evaluates the analytical latency model (the paper's
+// contribution) for a multi-cluster organization.
+//
+// Usage:
+//
+//	mclat -org org1 -lambda 2e-4              # one operating point
+//	mclat -org org2 -m 64 -lm 512 -sweep 8    # a sweep up to saturation
+//	mclat -org "m=4:4x2,4x3" -saturation      # custom org, find λ_sat
+//	mclat -org org1 -lambda 1e-4 -percluster  # per-cluster breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcnet/internal/analytic"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+func main() {
+	var (
+		orgSpec    = flag.String("org", "org1", `organization: org1|org2|"m=<ports>:<count>x<levels>[@rate],..."`)
+		mFlits     = flag.Int("m", 32, "message length M in flits")
+		lm         = flag.Int("lm", 256, "flit length L_m in bytes")
+		lambda     = flag.Float64("lambda", 0, "offered traffic λ_g (messages/node/time-unit)")
+		sweep      = flag.Int("sweep", 0, "evaluate a sweep of this many points up to saturation")
+		saturation = flag.Bool("saturation", false, "print the model's saturation point")
+		perCluster = flag.Bool("percluster", false, "print the per-cluster breakdown")
+		literal    = flag.Bool("paper-literal", false, "use the paper-literal interpretation (ablation)")
+	)
+	flag.Parse()
+
+	org, err := system.ParseOrganization(*orgSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sys, err := system.New(org)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	par := units.Default().WithMessage(*mFlits, *lm)
+	opt := analytic.DefaultOptions()
+	if *literal {
+		opt = analytic.PaperLiteralOptions()
+	}
+	model, err := analytic.New(sys, par, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Print(sys.Summary())
+	fmt.Printf("  parameters: %s  (t_cn=%.4g, t_cs=%.4g)\n\n", par, par.Tcn(), par.Tcs())
+
+	sat := model.SaturationPoint(1e-6, 1, 1e-4)
+	if *saturation || *sweep > 0 {
+		fmt.Printf("model saturation point λ_sat = %.6g\n\n", sat)
+	}
+
+	evalOne := func(l float64) {
+		res, err := model.Evaluate(l)
+		if err != nil {
+			fmt.Printf("λ_g=%.6g: saturated (%s)\n", l, res.Bottleneck)
+			return
+		}
+		fmt.Printf("λ_g=%.6g: mean message latency = %.4f time units\n", l, res.MeanLatency)
+		if *perCluster {
+			fmt.Printf("  %3s %6s %8s %9s %9s %9s %9s\n", "i", "N_i", "P_o", "T_intra", "T_inter", "W_conc", "ℓ_i")
+			for i, cr := range res.PerCluster {
+				fmt.Printf("  %3d %6d %8.4f %9.3f %9.3f %9.3f %9.3f\n",
+					i, sys.Clusters[i].Nodes, cr.POut, cr.TIntra, cr.TInter, cr.WConc, cr.Latency)
+			}
+		}
+	}
+
+	switch {
+	case *sweep > 0:
+		fmt.Printf("%14s %16s\n", "lambda", "latency")
+		for i := 1; i <= *sweep; i++ {
+			l := sat * float64(i) / float64(*sweep+1)
+			v, err := model.MeanLatency(l)
+			if err != nil {
+				fmt.Printf("%14.6g %16s\n", l, "saturated")
+				continue
+			}
+			fmt.Printf("%14.6g %16.4f\n", l, v)
+		}
+	case *lambda > 0:
+		evalOne(*lambda)
+	case !*saturation:
+		// Default: a short characteristic table.
+		for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			evalOne(frac * sat)
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mclat: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command mcsim runs the discrete-event simulator of the heterogeneous
+// multi-cluster system at one operating point and reports the measured
+// latency statistics, following the paper's §4 methodology.
+//
+// Usage:
+//
+//	mcsim -org org1 -lambda 2e-4
+//	mcsim -org org2 -m 64 -lm 512 -lambda 1e-4 -reps 5
+//	mcsim -org org2 -lambda 3e-4 -pattern local:0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcnet/internal/mcsim"
+	"mcnet/internal/routing"
+	"mcnet/internal/stats"
+	"mcnet/internal/system"
+	"mcnet/internal/traffic"
+	"mcnet/internal/units"
+)
+
+func main() {
+	var (
+		orgSpec = flag.String("org", "org1", `organization: org1|org2|"m=<ports>:<count>x<levels>[@rate],..."`)
+		mFlits  = flag.Int("m", 32, "message length M in flits")
+		lm      = flag.Int("lm", 256, "flit length L_m in bytes")
+		lambda  = flag.Float64("lambda", 1e-4, "offered traffic λ_g (messages/node/time-unit)")
+		warmup  = flag.Int("warmup", 10000, "warm-up messages (discarded)")
+		measure = flag.Int("measure", 100000, "measured messages")
+		drain   = flag.Int("drain", 10000, "drain messages (generated, not measured)")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		reps    = flag.Int("reps", 1, "independent replications (seeds seed..seed+reps-1)")
+		pattern = flag.String("pattern", "uniform", "traffic: uniform|hotspot:<frac>|local:<frac>")
+		mode    = flag.String("routing", "balanced", "ascent discipline: balanced|random")
+		verbose = flag.Bool("v", false, "print per-cluster statistics")
+	)
+	flag.Parse()
+
+	org, err := system.ParseOrganization(*orgSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	par := units.Default().WithMessage(*mFlits, *lm)
+	cfg := mcsim.Config{
+		Org: org, Par: par, LambdaG: *lambda,
+		Warmup: *warmup, Measure: *measure, Drain: *drain,
+	}
+	switch *mode {
+	case "balanced":
+		cfg.RoutingMode = routing.Balanced
+	case "random":
+		cfg.RoutingMode = routing.RandomUp
+	default:
+		fatalf("unknown -routing %q", *mode)
+	}
+	if cfg.Pattern, err = parsePattern(*pattern); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Print(system.MustNew(org).Summary())
+	fmt.Printf("  parameters: %s   λ_g=%g   routing=%s   pattern=%s\n\n", par, *lambda, *mode, *pattern)
+
+	var means stats.Running
+	for rep := 0; rep < *reps; rep++ {
+		cfg.Seed = *seed + uint64(rep)
+		start := time.Now()
+		res, err := mcsim.Run(cfg)
+		if err != nil {
+			fmt.Printf("rep %d: %v (partial results follow)\n", rep, err)
+		}
+		means.Add(res.Latency.Mean)
+		fmt.Printf("rep %d (seed %d): mean=%.4f  sd=%.3f  min=%.3f  max=%.3f  n=%d\n",
+			rep, cfg.Seed, res.Latency.Mean, math.Sqrt(res.Latency.Variance),
+			res.Latency.Min, res.Latency.Max, res.Latency.Count)
+		fmt.Printf("  intra: %v\n  inter: %v\n", res.IntraLatency, res.InterLatency)
+		fmt.Printf("  observed P_out=%.4f  generated=%d  sim-time=%.1f  events=%d  wall=%v\n",
+			res.ObservedPOut, res.Generated, res.SimTime, res.Events,
+			time.Since(start).Round(time.Millisecond))
+		if *verbose {
+			for i, pc := range res.PerCluster {
+				fmt.Printf("  cluster %2d: %v\n", i, pc)
+			}
+		}
+	}
+	if *reps > 1 {
+		fmt.Printf("\nacross %d replications: mean latency = %.4f ± %.4f (sd)\n",
+			*reps, means.Mean(), means.StdDev())
+	}
+}
+
+func parsePattern(spec string) (func(*system.System) traffic.Pattern, error) {
+	if spec == "uniform" || spec == "" {
+		return nil, nil
+	}
+	name, arg, _ := strings.Cut(spec, ":")
+	frac, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: bad fraction: %v", spec, err)
+	}
+	switch name {
+	case "hotspot":
+		return func(s *system.System) traffic.Pattern {
+			return traffic.Hotspot{N: s.TotalNodes(), Hot: 0, Fraction: frac}
+		}, nil
+	case "local":
+		return func(s *system.System) traffic.Pattern {
+			return traffic.ClusterLocal{Sys: s, PLocal: frac}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command mctopo inspects m-port n-tree topologies and multi-cluster
+// organizations: node/switch counts (Eqs. 1–2), the NCA-level distribution
+// (Eq. 4), average distance (Eqs. 8–9), and structural verification.
+//
+// Usage:
+//
+//	mctopo -ports 8 -levels 3          # one tree
+//	mctopo -org org1                   # a whole organization
+//	mctopo -ports 4 -levels 5 -check   # exhaustive wiring verification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcnet/internal/routing"
+	"mcnet/internal/system"
+	"mcnet/internal/tree"
+)
+
+func main() {
+	var (
+		ports   = flag.Int("ports", 0, "switch ports m (even)")
+		levels  = flag.Int("levels", 0, "tree levels n")
+		orgSpec = flag.String("org", "", "organization to summarize instead of a single tree")
+		check   = flag.Bool("check", false, "run exhaustive structural verification")
+	)
+	flag.Parse()
+
+	switch {
+	case *orgSpec != "":
+		org, err := system.ParseOrganization(*orgSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sys, err := system.New(org)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(sys.Summary())
+		fmt.Printf("\n  %3s %6s %8s %10s\n", "i", "N_i", "P_o(i)", "d_avg(i)")
+		for i, c := range sys.Clusters {
+			fmt.Printf("  %3d %6d %8.4f %10.4f\n", i, c.Nodes, sys.POut(i), c.Shape.AvgDistance())
+		}
+		fmt.Printf("\n  ICN2 NCA-level distribution P(h): %v\n", formatDist(sys.ICN2ProbH()))
+		if *check {
+			for _, c := range sys.Clusters {
+				if err := c.Shape.CheckStructure(); err != nil {
+					fatalf("cluster %d: %v", c.Index, err)
+				}
+			}
+			if err := sys.ICN2.CheckStructure(); err != nil {
+				fatalf("ICN2: %v", err)
+			}
+			fmt.Println("  structural verification: OK")
+		}
+	case *ports > 0 && *levels > 0:
+		t, err := tree.New(*ports, *levels)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%v\n", t)
+		fmt.Printf("  nodes (Eq.1):    %d\n", t.Nodes())
+		fmt.Printf("  switches (Eq.2): %d (", t.Switches())
+		for l := 1; l <= t.Levels(); l++ {
+			if l > 1 {
+				fmt.Print(" + ")
+			}
+			fmt.Printf("%d@L%d", t.LevelSize(l), l)
+		}
+		fmt.Println(")")
+		fmt.Printf("  directed channels: %d\n", t.Channels())
+		fmt.Printf("  P(j) (Eq.4):     %v\n", formatDist(t.ProbJ()))
+		fmt.Printf("  d_avg (Eq.8):    %.6f   closed form (Eq.9): %.6f\n",
+			t.AvgDistance(), t.AvgDistanceClosedForm())
+		fmt.Printf("  bisection width:  %d links (full bisection: N/2)\n", t.BisectionWidth())
+		if *check {
+			if err := t.CheckStructure(); err != nil {
+				fatalf("%v", err)
+			}
+			if err := t.VerifyFullBisection(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println("  structural verification: OK")
+			r := routing.Router{T: t}
+			fmt.Println("  all-pairs balanced routing load:")
+			for _, s := range routing.SummarizeLoads(t, r.LoadMatrix()) {
+				fmt.Printf("    %v\n", s)
+			}
+		}
+	default:
+		fatalf("specify -ports and -levels, or -org (see -h)")
+	}
+}
+
+func formatDist(p []float64) string {
+	out := "["
+	for j, v := range p {
+		if j == 0 {
+			continue
+		}
+		if j > 1 {
+			out += " "
+		}
+		out += fmt.Sprintf("j=%d:%.4f", j, v)
+	}
+	return out + "]"
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mctopo: "+format+"\n", args...)
+	os.Exit(1)
+}

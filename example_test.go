@@ -1,0 +1,68 @@
+package mcnet_test
+
+import (
+	"fmt"
+
+	"mcnet"
+)
+
+// ExampleAnalyze evaluates the analytical model on the paper's second
+// Table 1 organization at a light load.
+func ExampleAnalyze() {
+	latency, err := mcnet.Analyze(mcnet.Table1Org2(), mcnet.DefaultParams(), 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean message latency: %.1f time units\n", latency)
+	// Output:
+	// mean message latency: 24.6 time units
+}
+
+// ExampleParseOrganization builds the paper's first organization from the
+// compact command-line syntax.
+func ExampleParseOrganization() {
+	org, err := mcnet.ParseOrganization("m=8:12x1,16x2,4x3")
+	if err != nil {
+		panic(err)
+	}
+	sys, err := mcnet.NewSystem(org)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("N=%d C=%d\n", sys.TotalNodes(), sys.C())
+	// Output:
+	// N=1120 C=32
+}
+
+// ExampleSaturationPoint finds the offered traffic at which the model's
+// stability region ends — the right edge of the paper's figures.
+func ExampleSaturationPoint() {
+	sat, err := mcnet.SaturationPoint(mcnet.Table1Org1(), mcnet.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("λ_sat ≈ %.1e messages/node/time-unit\n", sat)
+	// Output:
+	// λ_sat ≈ 5.3e-04 messages/node/time-unit
+}
+
+// ExampleSimulate runs a small simulation with the full §4 lifecycle
+// (warm-up, measurement, drain) on a custom four-cluster system.
+func ExampleSimulate() {
+	org := mcnet.Organization{
+		Name:  "example",
+		Ports: 4,
+		Specs: []mcnet.ClusterSpec{{Count: 4, Levels: 1}},
+	}
+	res, err := mcnet.Simulate(mcnet.SimConfig{
+		Org: org, Par: mcnet.DefaultParams(), LambdaG: 1e-4,
+		Warmup: 100, Measure: 1000, Drain: 100, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("measured %d messages, all delivered: %v\n",
+		res.Latency.Count, res.DeliveredMeasured == 1000)
+	// Output:
+	// measured 1000 messages, all delivered: true
+}

@@ -1,0 +1,66 @@
+// Capacity planning: the design-space exploration the paper motivates
+// ("a practical evaluation tool that can help system designers explore the
+// design space"). Given a fixed budget of ~500 nodes on 4-port switches,
+// which cluster organization sustains the highest offered traffic before
+// saturating, and what latency does it deliver at a target operating point?
+//
+// The analytical model makes this a millisecond-scale sweep; a simulation
+// checks the chosen design.
+//
+// Run with:
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcnet"
+)
+
+func main() {
+	par := mcnet.DefaultParams()
+	candidates := []mcnet.Organization{
+		{Name: "few large clusters ", Ports: 4, Specs: []mcnet.ClusterSpec{{Count: 8, Levels: 5}}},  // 8×64
+		{Name: "medium clusters    ", Ports: 4, Specs: []mcnet.ClusterSpec{{Count: 16, Levels: 4}}}, // 16×32
+		{Name: "many small clusters", Ports: 4, Specs: []mcnet.ClusterSpec{{Count: 32, Levels: 3}}}, // 32×16
+		{Name: "mixed (Table 1 #2) ", Ports: 4, Specs: mcnet.Table1Org2().Specs},                    // 544 nodes
+	}
+
+	fmt.Println("candidate organizations, ~512-node budget, m=4, M=32, Lm=256:")
+	fmt.Printf("%22s %6s %4s %12s %16s\n", "design", "N", "C", "λ_sat", "latency@70%sat")
+
+	type scored struct {
+		org mcnet.Organization
+		sat float64
+	}
+	var best scored
+	for _, org := range candidates {
+		sys, err := mcnet.NewSystem(org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat, err := mcnet.SaturationPoint(org, par)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat, err := mcnet.Analyze(org, par, 0.7*sat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%22s %6d %4d %12.4g %16.2f\n", org.Name, sys.TotalNodes(), sys.C(), sat, lat)
+		if sat > best.sat {
+			best = scored{org, sat}
+		}
+	}
+
+	fmt.Printf("\nhighest sustainable traffic: %s (λ_sat = %.4g)\n", best.org.Name, best.sat)
+	fmt.Println("verifying the winning design by simulation at 50% of saturation...")
+	cmp, err := mcnet.Compare(best.org, par, 0.5*best.sat, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis %.2f vs simulation %.2f time units (%.1f%% apart)\n",
+		cmp.Analysis, cmp.Simulation, 100*cmp.RelativeError)
+}

@@ -1,0 +1,43 @@
+// Quickstart: evaluate the analytical model and the validation simulator on
+// the paper's first Table 1 organization at a few operating points, printing
+// the comparison the paper's Fig. 3 is made of.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcnet"
+)
+
+func main() {
+	org := mcnet.Table1Org1() // N=1120 nodes, C=32 clusters, m=8 ports
+	par := mcnet.DefaultParams()
+
+	sys, err := mcnet.NewSystem(org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sys.Summary())
+
+	sat, err := mcnet.SaturationPoint(org, par)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel saturation point: λ_sat = %.4g messages/node/time-unit\n\n", sat)
+
+	fmt.Printf("%12s %12s %12s %10s\n", "λ_g", "analysis", "simulation", "error")
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		cmp, err := mcnet.Compare(org, par, frac*sat, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.4g %12.2f %12.2f %9.1f%%\n",
+			cmp.LambdaG, cmp.Analysis, cmp.Simulation, 100*cmp.RelativeError)
+	}
+	fmt.Println("\nlatencies are in the paper's abstract time units (bandwidth = 500 bytes/unit)")
+}

@@ -1,0 +1,504 @@
+// Package analytic implements the paper's contribution: the analytical model
+// of mean message latency in heterogeneous multi-cluster systems (paper §3,
+// Eqs. 3–36).
+//
+// # Structure of the model
+//
+// For a message source in cluster i the model combines:
+//
+//   - the distribution P(j, n) of the number of link-pairs crossed in an
+//     m-port n-tree under uniform traffic (Eq. 4) and the resulting average
+//     distance d_avg (Eqs. 8–9) — supplied by the tree package;
+//
+//   - per-channel message rates η for ICN1, ECN1 and ICN2 (Eqs. 10–12)
+//     obtained by spreading each network's aggregate load over its channels;
+//
+//   - a backward recursion over the stages of a journey (Eqs. 16–18): the
+//     mean service time of a channel at stage k equals the message transfer
+//     time plus the mean waiting times at all later stages, where the wait
+//     at a stage is ½·S·P_B with blocking probability P_B = η·S from the
+//     two-state birth–death chain (Eq. 17, linearized as in the paper);
+//
+//   - an M/G/1 source queue (Eqs. 19–23) with the Draper–Ghosh variance
+//     approximation σ² = (S − M·t_cn)² (Eq. 22);
+//
+//   - the tail-flit pipeline time R (Eqs. 24, 32);
+//
+//   - M/D/1 concentrator/dispatcher waits with deterministic service M·t_cs
+//     (Eqs. 33–34);
+//
+//   - the probability mix ℓ_i = (1−P_o)·T_ICN1 + P_o·(T_ECN1&ICN2 + W_d)
+//     (Eq. 35) and the size-weighted system mean (Eq. 36).
+//
+// # Interpretation options
+//
+// Two spots of the paper are typographically ambiguous in the available text
+// (Eq. 7's ICN2 rate normalization and Eq. 33's concentrator arrival rate;
+// see DESIGN.md §3). Options selects between the channel-count-consistent
+// reading (default, calibrated against the simulator) and the paper-literal
+// reading (kept for the ablation experiment).
+//
+// The model also supports per-cluster injection-rate factors (processor-
+// power heterogeneity), a strict extension of the paper's assumption 3.
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcnet/internal/markov"
+	"mcnet/internal/queueing"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// ConcArrivalMode selects the arrival rate used for the concentrator and
+// dispatcher M/D/1 queues (Eq. 33).
+type ConcArrivalMode int
+
+const (
+	// ConcPerEndpoint uses the physical per-device rates: the concentrator
+	// of cluster i serves the cluster's outgoing flow N_i·P_o(i)·λ_i and the
+	// dispatcher of cluster v serves v's incoming flow. This is the default;
+	// it reproduces the simulator's dominant bottleneck.
+	ConcPerEndpoint ConcArrivalMode = iota
+	// ConcPairExtrapolated uses the pair-extrapolated per-concentrator rate
+	// λ_I2(i,v)/C for both buffers, the closest defensible reading of the
+	// paper's Eq. 33.
+	ConcPairExtrapolated
+)
+
+// Options selects between interpretations of the ambiguous equations.
+type Options struct {
+	// ChannelFactor is the constant F in the denominators of the channel
+	// rate equations (Eqs. 10–12). The paper uses 4; the directed-channel
+	// count of an m-port n-tree (2nN channels for traffic of d_avg·λ link
+	// crossings) corresponds to 2.
+	ChannelFactor float64
+	// ICN2PaperLiteral, when true, uses the pair-extrapolated *total* ICN2
+	// load in Eq. 12's numerator without normalizing by the concentrator
+	// count C, which is the literal OCR reading of Eqs. 7+12. The default
+	// (false) divides by C so that η_I2 is a per-channel rate on the same
+	// footing as Eqs. 10–11.
+	ICN2PaperLiteral bool
+	// ConcArrival selects the concentrator queue arrival rates.
+	ConcArrival ConcArrivalMode
+	// SourceAggregate, when true, feeds the source-queue M/G/1 (Eqs. 23, 30)
+	// with the aggregate network arrival rates λ_I1 and λ_E1 of Eqs. 5–6,
+	// the literal reading of "substitution of λ = λ_I1". The default (false)
+	// uses the per-injection-channel rates ((1−P_o)·λ_i and P_o·λ_i): a
+	// node's source queue physically receives only that node's messages.
+	// The aggregate reading saturates the model a factor ≈2 before the
+	// paper's own plotted traffic ranges, while the per-node reading puts
+	// the model's saturation exactly where the paper's figures stop —
+	// see EXPERIMENTS.md (ablation A).
+	SourceAggregate bool
+	// ExactICN2Pairs replaces the distribution P(h, n_c) by the exact NCA
+	// level of each cluster pair (i,v), a refinement the paper's model
+	// averages away.
+	ExactICN2Pairs bool
+	// ConcServiceFeedback is a refinement beyond the paper: the
+	// concentrator's effective service extends past M·t_cs by the blocking
+	// the message's header suffers entering ICN2 (approximated by one
+	// stage of Eq. 16, ½·η_I2·(M·t_cs)²). The paper's M/D/1 term ignores
+	// this downstream coupling, which is one reason its model outlives the
+	// simulator near saturation.
+	ConcServiceFeedback bool
+}
+
+// DefaultOptions returns the calibrated defaults used by the experiments.
+func DefaultOptions() Options {
+	return Options{ChannelFactor: 4, ConcArrival: ConcPerEndpoint}
+}
+
+// PaperLiteralOptions returns the closest literal reading of the paper's
+// equations, used by the interpretation ablation.
+func PaperLiteralOptions() Options {
+	return Options{
+		ChannelFactor:    4,
+		ICN2PaperLiteral: true,
+		ConcArrival:      ConcPairExtrapolated,
+		SourceAggregate:  true,
+	}
+}
+
+// Model evaluates the analytical latency of one system. Create with New.
+type Model struct {
+	Sys *system.System
+	Par units.Params
+	Opt Options
+
+	probJ [][]float64 // per cluster: P(j, n_i), index j
+	dAvg  []float64   // per cluster: d_avg
+	pOut  []float64   // per cluster: Eq. 13
+	probH []float64   // ICN2 NCA-level distribution
+	dICN2 float64     // Σ 2h·P(h)
+	hOf   [][]int     // exact ICN2 NCA level per cluster pair
+}
+
+// New precomputes the topology-dependent quantities of the model.
+func New(sys *system.System, par units.Params, opt Options) (*Model, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.ChannelFactor <= 0 {
+		return nil, fmt.Errorf("analytic: ChannelFactor %v must be positive", opt.ChannelFactor)
+	}
+	m := &Model{Sys: sys, Par: par, Opt: opt}
+	m.probJ = make([][]float64, sys.C())
+	m.dAvg = make([]float64, sys.C())
+	m.pOut = make([]float64, sys.C())
+	for i := range sys.Clusters {
+		shape := sys.Clusters[i].Shape
+		m.probJ[i] = shape.ProbJ()
+		m.dAvg[i] = shape.AvgDistance()
+		m.pOut[i] = sys.POut(i)
+	}
+	m.probH = sys.ICN2ProbH()
+	for h, p := range m.probH {
+		m.dICN2 += 2 * float64(h) * p
+	}
+	m.hOf = make([][]int, sys.C())
+	for i := range m.hOf {
+		m.hOf[i] = make([]int, sys.C())
+		for v := range m.hOf[i] {
+			if v != i {
+				m.hOf[i][v] = sys.ICN2.NCALevel(i, v)
+			}
+		}
+	}
+	return m, nil
+}
+
+// ClusterResult breaks the latency of one source cluster into the paper's
+// terms.
+type ClusterResult struct {
+	POut float64
+	// Intra-cluster journey (ICN1): source wait, network latency, tail time.
+	WIntra, SIntra, RIntra float64
+	TIntra                 float64
+	// Inter-cluster journey (ECN1 + ICN2), averaged over destinations.
+	WInter, SInter, RInter float64
+	TInter                 float64
+	// WConc is the mean concentrator+dispatcher wait W_d (Eq. 34).
+	WConc float64
+	// Latency is ℓ_i of Eq. 35.
+	Latency float64
+	// Saturated marks a cluster whose mix includes an unstable component.
+	Saturated bool
+}
+
+// Result is the model's output for one offered traffic λ_g.
+type Result struct {
+	LambdaG     float64
+	MeanLatency float64 // Eq. 36 (+Inf when saturated)
+	PerCluster  []ClusterResult
+	Saturated   bool
+	// Bottleneck names the first component found unstable, e.g.
+	// "source-queue(E,i=3,v=0)" — empty when not saturated.
+	Bottleneck string
+}
+
+// ErrSaturated reports an operating point past the model's stability region.
+var ErrSaturated = errors.New("analytic: operating point is saturated")
+
+// chainService runs the backward stage recursion (Eqs. 16–18) for a K-stage
+// journey and returns S_{0}. eta(k) supplies the channel rate at stage k.
+// ok is false when any stage's utilization reaches 1.
+func chainService(k int, eta func(int) float64, mtcs, mtcn float64) (s0 float64, ok bool) {
+	sumW := 0.0
+	s := 0.0
+	for stage := k - 1; stage >= 0; stage-- {
+		if stage == k-1 {
+			s = mtcn
+		} else {
+			s = mtcs + sumW
+		}
+		if stage > 0 {
+			e := eta(stage)
+			if e*s >= 1 {
+				return math.Inf(1), false
+			}
+			sumW += 0.5 * s * markov.ChannelBlockingProbability(e, s)
+		}
+	}
+	return s, true
+}
+
+// Evaluate computes the model at per-node generation rate λ_g. The Result is
+// fully populated even when saturated (with +Inf latencies); the error is
+// ErrSaturated in that case.
+func (m *Model) Evaluate(lambdaG float64) (Result, error) {
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		return Result{}, fmt.Errorf("analytic: invalid λ_g %v", lambdaG)
+	}
+	sys := m.Sys
+	res := Result{LambdaG: lambdaG, PerCluster: make([]ClusterResult, sys.C())}
+	mtcn, mtcs := m.Par.MTcn(), m.Par.MTcs()
+	tcn, tcs := m.Par.Tcn(), m.Par.Tcs()
+	f := m.Opt.ChannelFactor
+	n := float64(sys.TotalNodes())
+	c := sys.C()
+	nc := float64(sys.ICN2.Levels())
+
+	// Per-cluster aggregate rates.
+	lam := make([]float64, c)     // per-node rate λ_i
+	outRate := make([]float64, c) // N_i·P_o(i)·λ_i
+	for i := range sys.Clusters {
+		lam[i] = lambdaG * sys.Clusters[i].RateFactor
+		outRate[i] = float64(sys.Clusters[i].Nodes) * m.pOut[i] * lam[i]
+	}
+	// Incoming inter-cluster rate per cluster (for ConcPerEndpoint).
+	inRate := make([]float64, c)
+	for v := 0; v < c; v++ {
+		nv := float64(sys.Clusters[v].Nodes)
+		for u := 0; u < c; u++ {
+			if u == v {
+				continue
+			}
+			nu := float64(sys.Clusters[u].Nodes)
+			inRate[v] += outRate[u] * nv / (n - nu)
+		}
+	}
+
+	saturate := func(cr *ClusterResult, where string) {
+		cr.Saturated = true
+		cr.Latency = math.Inf(1)
+		if !res.Saturated {
+			res.Saturated = true
+			res.Bottleneck = where
+		}
+	}
+
+	for i := range sys.Clusters {
+		cl := &sys.Clusters[i]
+		cr := &res.PerCluster[i]
+		cr.POut = m.pOut[i]
+		ni := cl.Levels
+		nNodes := float64(cl.Nodes)
+
+		// ── Intra-cluster (ICN1) ──
+		lamI1 := nNodes * (1 - m.pOut[i]) * lam[i] // Eq. 5
+		etaI1 := m.dAvg[i] * lamI1 / (f * float64(ni) * nNodes)
+		okAll := true
+		for j := 1; j <= ni; j++ {
+			pj := m.probJ[i][j]
+			if pj == 0 {
+				continue
+			}
+			s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 }, mtcs, mtcn)
+			if !ok {
+				okAll = false
+				break
+			}
+			cr.SIntra += pj * s0
+			cr.RIntra += pj * (float64(2*j-2)*tcs + tcn)
+		}
+		if !okAll {
+			saturate(cr, fmt.Sprintf("channel-chain(ICN1,i=%d)", i))
+			continue
+		}
+		sigma2 := sq(cr.SIntra - mtcn) // Eq. 22
+		lamSrcI1 := (1 - m.pOut[i]) * lam[i]
+		if m.Opt.SourceAggregate {
+			lamSrcI1 = lamI1
+		}
+		w, err := queueing.MG1Wait(lamSrcI1, cr.SIntra, sigma2)
+		if err != nil {
+			saturate(cr, fmt.Sprintf("source-queue(ICN1,i=%d)", i))
+			continue
+		}
+		cr.WIntra = w
+		cr.TIntra = cr.WIntra + cr.SIntra + cr.RIntra // Eq. 25
+
+		// ── Inter-cluster (ECN1 + ICN2), averaged over destinations v ──
+		var sumT, sumW, sumS, sumR, sumConc float64
+		interOK := true
+		var bottleneck string
+		for v := 0; v < c && interOK; v++ {
+			if v == i {
+				continue
+			}
+			clv := &sys.Clusters[v]
+			lamE1 := outRate[i] + outRate[v] // Eq. 6
+			etaE1 := m.dAvg[i] * lamE1 / (f * float64(ni) * nNodes)
+			// Eq. 7: pair-extrapolated total ICN2 load; Eq. 12 normalization
+			// per Options.
+			lamI2Total := lamE1 * n / (nNodes + float64(clv.Nodes))
+			lamI2PerConc := lamI2Total / float64(c)
+			var etaI2 float64
+			if m.Opt.ICN2PaperLiteral {
+				etaI2 = lamI2Total * m.dICN2 / (f * nc)
+			} else {
+				etaI2 = lamI2PerConc * m.dICN2 / (f * nc)
+			}
+
+			var se, re float64
+			forEachJLH(m, i, v, func(j, l, h int, p float64) bool {
+				k := j + l + 2*h - 1
+				s0, ok := chainService(k, func(stage int) float64 {
+					// Eq. 29: ICN2 stages sit between the ascent (j−1
+					// switch-switch hops) and the final descent.
+					if stage >= j-1 && stage < j+2*h-1 {
+						return etaI2
+					}
+					return etaE1
+				}, mtcs, mtcn)
+				if !ok {
+					interOK = false
+					bottleneck = fmt.Sprintf("channel-chain(E,i=%d,v=%d)", i, v)
+					return false
+				}
+				se += p * s0
+				re += p * (float64(k-1)*tcs + tcn) // Eq. 32
+				return true
+			})
+			if !interOK {
+				break
+			}
+			lamSrcE := m.pOut[i] * lam[i]
+			if m.Opt.SourceAggregate {
+				lamSrcE = lamE1
+			}
+			we, err := queueing.MG1Wait(lamSrcE, se, sq(se-mtcn)) // Eq. 30
+			if err != nil {
+				interOK = false
+				bottleneck = fmt.Sprintf("source-queue(E,i=%d,v=%d)", i, v)
+				break
+			}
+			// Eq. 33–34: concentrator + dispatcher waits. The service is
+			// deterministic M·t_cs, optionally extended by the ICN2 entry
+			// blocking (ConcServiceFeedback refinement).
+			concService := mtcs
+			concVariance := 0.0
+			if m.Opt.ConcServiceFeedback {
+				extra := 0.5 * etaI2 * mtcs * mtcs
+				concService += extra
+				concVariance = extra * extra // blocking is bursty, not fixed
+			}
+			var wConc float64
+			switch m.Opt.ConcArrival {
+			case ConcPerEndpoint:
+				wOut, err1 := queueing.MG1Wait(outRate[i], concService, concVariance)
+				wIn, err2 := queueing.MG1Wait(inRate[v], concService, concVariance)
+				if err1 != nil || err2 != nil {
+					interOK = false
+					bottleneck = fmt.Sprintf("concentrator(i=%d,v=%d)", i, v)
+				}
+				wConc = wOut + wIn
+			case ConcPairExtrapolated:
+				ws, err := queueing.MG1Wait(lamI2PerConc, concService, concVariance)
+				if err != nil {
+					interOK = false
+					bottleneck = fmt.Sprintf("concentrator(i=%d,v=%d)", i, v)
+				}
+				wConc = 2 * ws
+			}
+			if !interOK {
+				break
+			}
+			sumW += we
+			sumS += se
+			sumR += re
+			sumT += we + se + re
+			sumConc += wConc
+		}
+		if !interOK {
+			saturate(cr, bottleneck)
+			continue
+		}
+		inv := 1 / float64(c-1)
+		cr.WInter, cr.SInter, cr.RInter = sumW*inv, sumS*inv, sumR*inv
+		cr.TInter = sumT * inv // Eq. 31
+		cr.WConc = sumConc * inv
+		// Eq. 35.
+		cr.Latency = (1-m.pOut[i])*cr.TIntra + m.pOut[i]*(cr.TInter+cr.WConc)
+	}
+
+	// Eq. 36: weight clusters by their share of generated messages (equal to
+	// N_i/N for homogeneous rates).
+	var totalWeight float64
+	for i := range sys.Clusters {
+		totalWeight += float64(sys.Clusters[i].Nodes) * sys.Clusters[i].RateFactor
+	}
+	for i := range sys.Clusters {
+		wgt := float64(sys.Clusters[i].Nodes) * sys.Clusters[i].RateFactor / totalWeight
+		res.MeanLatency += wgt * res.PerCluster[i].Latency
+	}
+	if res.Saturated {
+		res.MeanLatency = math.Inf(1)
+		return res, ErrSaturated
+	}
+	return res, nil
+}
+
+// forEachJLH iterates the (j, l, h) journey-shape distribution of an
+// inter-cluster message from i to v with its probability (Eq. 27), honoring
+// the ExactICN2Pairs option. The callback returns false to stop early.
+func forEachJLH(m *Model, i, v int, fn func(j, l, h int, p float64) bool) {
+	pj := m.probJ[i]
+	pl := m.probJ[v]
+	for j := 1; j < len(pj); j++ {
+		if pj[j] == 0 {
+			continue
+		}
+		for l := 1; l < len(pl); l++ {
+			if pl[l] == 0 {
+				continue
+			}
+			if m.Opt.ExactICN2Pairs {
+				if !fn(j, l, m.hOf[i][v], pj[j]*pl[l]) {
+					return
+				}
+				continue
+			}
+			for h := 1; h < len(m.probH); h++ {
+				if m.probH[h] == 0 {
+					continue
+				}
+				if !fn(j, l, h, pj[j]*pl[l]*m.probH[h]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// MeanLatency is a convenience wrapper returning only Eq. 36's value.
+func (m *Model) MeanLatency(lambdaG float64) (float64, error) {
+	res, err := m.Evaluate(lambdaG)
+	return res.MeanLatency, err
+}
+
+// SaturationPoint locates the offered traffic at which the model first
+// saturates, by doubling search followed by bisection to the given relative
+// tolerance. It returns +Inf if no saturation is found below limit.
+func (m *Model) SaturationPoint(start, limit, tol float64) float64 {
+	if start <= 0 {
+		start = 1e-9
+	}
+	lo := 0.0
+	hi := start
+	for {
+		if _, err := m.Evaluate(hi); errors.Is(err, ErrSaturated) {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > limit {
+			return math.Inf(1)
+		}
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		if _, err := m.Evaluate(mid); errors.Is(err, ErrSaturated) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,166 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"mcnet/internal/queueing"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// Baseline is the classical store-and-forward Jackson-style latency model,
+// implemented as the comparison baseline for the paper's wormhole-aware
+// model: every directed channel is an independent M/M/1 queue whose service
+// time is the full message transmission time, and a message pays the
+// sojourn of every hop on its path.
+//
+// This is what pre-wormhole interconnect analyses (and naive back-of-the-
+// envelope estimates) compute. It ignores pipelining — a message occupies
+// one hop at a time and is fully retransmitted at each — so it
+// overestimates latency by roughly the path length even at zero load,
+// which is exactly the inaccuracy wormhole-aware models were invented to
+// remove. The BaselineComparison experiment quantifies that gap against
+// the simulator.
+type Baseline struct {
+	Sys *system.System
+	Par units.Params
+
+	probJ [][]float64
+	dAvg  []float64
+	pOut  []float64
+	probH []float64
+	dC    float64
+}
+
+// NewBaseline builds the baseline model for a system.
+func NewBaseline(sys *system.System, par units.Params) (*Baseline, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Baseline{Sys: sys, Par: par}
+	for i := range sys.Clusters {
+		shape := sys.Clusters[i].Shape
+		b.probJ = append(b.probJ, shape.ProbJ())
+		b.dAvg = append(b.dAvg, shape.AvgDistance())
+		b.pOut = append(b.pOut, sys.POut(i))
+	}
+	b.probH = sys.ICN2ProbH()
+	for h, p := range b.probH {
+		b.dC += 2 * float64(h) * p
+	}
+	return b, nil
+}
+
+// hopSojourn returns the M/M/1 sojourn time of one hop with the given
+// per-channel arrival rate and mean (message) service time.
+func hopSojourn(eta, service float64) (float64, error) {
+	w, err := queueing.MM1Wait(eta, 1/service)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return w + service, nil
+}
+
+// MeanLatency evaluates the baseline at per-node offered traffic λ_g. The
+// channel rates follow the same traffic-spreading logic as the wormhole
+// model (Eqs. 10–12 with the physical channel count) so that the two
+// models differ only in their treatment of flow control.
+func (b *Baseline) MeanLatency(lambdaG float64) (float64, error) {
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		return 0, fmt.Errorf("analytic: invalid λ_g %v", lambdaG)
+	}
+	sys := b.Sys
+	n := float64(sys.TotalNodes())
+	c := sys.C()
+	mtcs, mtcn := b.Par.MTcs(), b.Par.MTcn()
+
+	var total, weight float64
+	for i := range sys.Clusters {
+		cl := &sys.Clusters[i]
+		lam := lambdaG * cl.RateFactor
+		ni := float64(cl.Levels)
+		nn := float64(cl.Nodes)
+
+		// Intra path: 2j store-and-forward hops, node links at the ends.
+		etaI1 := nn * (1 - b.pOut[i]) * lam * b.dAvg[i] / (2 * ni * nn)
+		var tIntra float64
+		intraOK := true
+		for j := 1; j < len(b.probJ[i]); j++ {
+			pj := b.probJ[i][j]
+			if pj == 0 {
+				continue
+			}
+			nodeHop, err1 := hopSojourn(etaI1, mtcn)
+			swHop, err2 := hopSojourn(etaI1, mtcs)
+			if err1 != nil || err2 != nil {
+				intraOK = false
+				break
+			}
+			tIntra += pj * (2*nodeHop + float64(2*j-2)*swHop)
+		}
+
+		// Inter path: n_i+1 hops up, 2h across, n_v+1 hops down, averaged
+		// over destination clusters.
+		var tInter float64
+		interOK := true
+		for v := 0; v < c && interOK; v++ {
+			if v == i {
+				continue
+			}
+			clv := &sys.Clusters[v]
+			lamE := nn*b.pOut[i]*lam + float64(clv.Nodes)*b.pOut[v]*lambdaG*clv.RateFactor
+			etaE := lamE * b.dAvg[i] / (2 * ni * nn)
+			etaI2 := lamE * n / (nn + float64(clv.Nodes)) / float64(c) * b.dC /
+				(2 * float64(sys.ICN2.Levels()))
+			nodeHop, err1 := hopSojourn(etaE, mtcn)
+			swHopE, err2 := hopSojourn(etaE, mtcs)
+			swHop2, err3 := hopSojourn(etaI2, mtcs)
+			if err1 != nil || err2 != nil || err3 != nil {
+				interOK = false
+				break
+			}
+			hops := 2*nodeHop + // injection + ejection node links
+				(ni+float64(clv.Levels))*swHopE + // ECN1 ascent + descent + conc links
+				b.dC*swHop2 // ICN2 crossing
+			tInter += hops
+		}
+		if !intraOK || !interOK {
+			return math.Inf(1), ErrSaturated
+		}
+		tInter /= float64(c - 1)
+
+		li := (1-b.pOut[i])*tIntra + b.pOut[i]*tInter
+		w := nn * cl.RateFactor
+		total += w * li
+		weight += w
+	}
+	return total / weight, nil
+}
+
+// SaturationPoint mirrors Model.SaturationPoint for the baseline.
+func (b *Baseline) SaturationPoint(start, limit, tol float64) float64 {
+	if start <= 0 {
+		start = 1e-9
+	}
+	lo, hi := 0.0, start
+	for {
+		if _, err := b.MeanLatency(hi); err != nil {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > limit {
+			return math.Inf(1)
+		}
+	}
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		if _, err := b.MeanLatency(mid); err != nil {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,178 @@
+// Package des implements a deterministic discrete-event simulation engine:
+// a future-event list ordered by (time, insertion sequence) and a scheduler
+// that executes events in that total order.
+//
+// Determinism is load-bearing for the whole reproduction: simultaneous events
+// are executed in insertion order, so a simulation driven by a seeded RNG
+// produces bit-identical results on every run. The engine is single-threaded
+// by design (a DES has one global clock); parallelism lives one level up, in
+// the replication runner.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Event is a scheduled callback. Cancelled events stay in the heap but are
+// skipped when popped (lazy deletion), which keeps cancellation O(1).
+type Event struct {
+	time     float64
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// eventHeap orders events by time, breaking ties by insertion sequence.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the simulation clock and the future-event list. The zero
+// value is a scheduler at time 0 with no pending events.
+type Scheduler struct {
+	now      float64
+	seq      uint64
+	events   eventHeap
+	executed uint64
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Pending returns the number of events in the future-event list, including
+// cancelled events not yet discarded.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Executed returns the number of events executed so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// ErrPastEvent reports an attempt to schedule an event before the current
+// simulated time.
+var ErrPastEvent = errors.New("des: event scheduled in the past")
+
+// At schedules fn at absolute time t and returns the event handle.
+// It panics if t precedes the current time or is not a finite number:
+// scheduling into the past is always a programming error in the caller.
+func (s *Scheduler) At(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(ErrPastEvent)
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn after delay d from the current time.
+func (s *Scheduler) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next non-cancelled event and returns true, or returns
+// false if the future-event list is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the list is exhausted, the clock would pass
+// `until`, or maxEvents events have run (0 means no event limit). It returns
+// the reason the loop stopped.
+func (s *Scheduler) Run(until float64, maxEvents uint64) StopReason {
+	start := s.executed
+	for {
+		if maxEvents > 0 && s.executed-start >= maxEvents {
+			return StoppedEventLimit
+		}
+		// Peek for the time-horizon check without disturbing the heap.
+		next := s.peek()
+		if next == nil {
+			return StoppedEmpty
+		}
+		if next.time > until {
+			return StoppedHorizon
+		}
+		s.Step()
+	}
+}
+
+// RunAll executes events until none remain or maxEvents is reached (0 = no
+// limit).
+func (s *Scheduler) RunAll(maxEvents uint64) StopReason {
+	return s.Run(math.Inf(1), maxEvents)
+}
+
+// peek returns the next non-cancelled event without executing it, discarding
+// cancelled events it encounters.
+func (s *Scheduler) peek() *Event {
+	for len(s.events) > 0 {
+		if e := s.events[0]; !e.canceled {
+			return e
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// StopReason describes why Run returned.
+type StopReason int
+
+const (
+	// StoppedEmpty means the future-event list is exhausted.
+	StoppedEmpty StopReason = iota
+	// StoppedHorizon means the next event lies beyond the time horizon.
+	StoppedHorizon
+	// StoppedEventLimit means the event budget was exhausted.
+	StoppedEventLimit
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StoppedEmpty:
+		return "empty"
+	case StoppedHorizon:
+		return "horizon"
+	case StoppedEventLimit:
+		return "event-limit"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,212 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mcnet/internal/rng"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Scheduler
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		s.At(tm, func() { got = append(got, tm) })
+	}
+	s.RunAll(0)
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("execution order %v not sorted", got)
+	}
+	if len(got) != len(times) {
+		t.Errorf("executed %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.RunAll(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v, want insertion order", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var s Scheduler
+	s.At(2.5, func() {
+		if s.Now() != 2.5 {
+			t.Errorf("Now() inside event = %v, want 2.5", s.Now())
+		}
+	})
+	if s.Now() != 0 {
+		t.Errorf("initial Now() = %v, want 0", s.Now())
+	}
+	s.RunAll(0)
+	if s.Now() != 2.5 {
+		t.Errorf("final Now() = %v, want 2.5", s.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var s Scheduler
+	var fired []float64
+	s.At(1, func() {
+		s.After(2, func() { fired = append(fired, s.Now()) })
+	})
+	s.RunAll(0)
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Errorf("After event fired at %v, want [3]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	ran := false
+	e := s.At(1, func() { ran = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	s.RunAll(0)
+	if ran {
+		t.Error("cancelled event executed")
+	}
+	if s.Executed() != 0 {
+		t.Errorf("Executed = %d, want 0", s.Executed())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Scheduler
+	s.At(10, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	var s Scheduler
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", bad)
+				}
+			}()
+			s.At(bad, func() {})
+		}()
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	reason := s.Run(5.5, 0)
+	if reason != StoppedHorizon {
+		t.Errorf("stop reason = %v, want horizon", reason)
+	}
+	if count != 5 {
+		t.Errorf("executed %d events before horizon 5.5, want 5", count)
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", s.Pending())
+	}
+}
+
+func TestRunEventLimit(t *testing.T) {
+	var s Scheduler
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() {})
+	}
+	if reason := s.RunAll(3); reason != StoppedEventLimit {
+		t.Errorf("stop reason = %v, want event-limit", reason)
+	}
+	if s.Executed() != 3 {
+		t.Errorf("Executed = %d, want 3", s.Executed())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain that schedules its successor; classic DES self-clocking.
+	var s Scheduler
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.After(1, tick)
+		}
+	}
+	s.At(0, tick)
+	if reason := s.RunAll(0); reason != StoppedEmpty {
+		t.Errorf("stop reason = %v, want empty", reason)
+	}
+	if count != 100 || s.Now() != 99 {
+		t.Errorf("count=%d now=%v, want 100, 99", count, s.Now())
+	}
+}
+
+func TestRandomWorkloadExecutesAllInOrder(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		var s Scheduler
+		const n = 500
+		var got []float64
+		for i := 0; i < n; i++ {
+			tm := src.Float64() * 100
+			tm2 := tm
+			s.At(tm, func() { got = append(got, tm2) })
+		}
+		s.RunAll(0)
+		return len(got) == n && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for r, want := range map[StopReason]string{
+		StoppedEmpty:      "empty",
+		StoppedHorizon:    "horizon",
+		StoppedEventLimit: "event-limit",
+		StopReason(99):    "unknown",
+	} {
+		if r.String() != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	src := rng.New(1)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = src.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Scheduler
+		for _, tm := range times {
+			s.At(tm, func() {})
+		}
+		s.RunAll(0)
+	}
+}

@@ -1,0 +1,553 @@
+// Package experiments regenerates the paper's evaluation artifacts — the
+// Table 1 organizations and the four latency-vs-offered-traffic panels of
+// Figures 3 and 4 — together with the ablations and extensions catalogued in
+// DESIGN.md. Each experiment produces analysis and simulation series over
+// the same traffic grid, ready for rendering by the plot package.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mcnet/internal/analytic"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/plot"
+	"mcnet/internal/routing"
+	"mcnet/internal/stats"
+	"mcnet/internal/system"
+	"mcnet/internal/traffic"
+	"mcnet/internal/units"
+)
+
+// Scale controls the cost of the simulation side of an experiment.
+type Scale struct {
+	// Warmup, Measure and Drain are the phase message counts (paper §4:
+	// 10000/100000/10000).
+	Warmup, Measure, Drain int
+	// Seed is the base RNG seed; replication r uses Seed+r.
+	Seed uint64
+	// Reps is the number of independent replications averaged per point
+	// (the paper reports single runs; >1 adds error estimates).
+	Reps int
+}
+
+// PaperScale reproduces the paper's §4 methodology exactly.
+func PaperScale() Scale { return Scale{Warmup: 10000, Measure: 100000, Drain: 10000, Seed: 1, Reps: 1} }
+
+// QuickScale is a ~10× cheaper setting for tests and benchmarks.
+func QuickScale() Scale { return Scale{Warmup: 1000, Measure: 10000, Drain: 1000, Seed: 1, Reps: 1} }
+
+// Point is one operating point of a latency curve.
+type Point struct {
+	Lambda float64
+	// Analysis is the model's Eq. 36 value (NaN when the model is saturated
+	// at this load — the curve simply ends, as in the paper's plots).
+	Analysis float64
+	// Simulation is the measured mean latency; SimStdDev is the standard
+	// deviation across replications (0 for single runs).
+	Simulation float64
+	SimStdDev  float64
+	// AnalysisSaturated marks loads past the model's stability region.
+	AnalysisSaturated bool
+	// SimSaturated flags simulation points dominated by unbounded queue
+	// growth (mean latency > 50× the zero-load analysis value), the regime
+	// right of the knee in the paper's figures.
+	SimSaturated bool
+}
+
+// Curve is one (message geometry) line of a figure: analysis + simulation.
+type Curve struct {
+	Label     string
+	FlitBytes int
+	Points    []Point
+}
+
+// Figure is a regenerated evaluation panel.
+type Figure struct {
+	Name    string // e.g. "fig3-m32"
+	Title   string
+	Org     system.Organization
+	MFlits  int
+	XMax    float64
+	Curves  []Curve
+	Scale   Scale
+	Options analytic.Options
+}
+
+// Runner carries the common knobs of all experiments.
+type Runner struct {
+	Scale   Scale
+	Options analytic.Options
+	// Workers bounds the simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewRunner returns a Runner with the calibrated model options.
+func NewRunner(scale Scale) Runner {
+	return Runner{Scale: scale, Options: analytic.DefaultOptions()}
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelEach runs fn(i) for i in [0, n) on the runner's worker pool.
+func (r Runner) parallelEach(n int, fn func(i int)) {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// simulatePoint runs Scale.Reps replications and aggregates them.
+func (r Runner) simulatePoint(cfg mcsim.Config) (mean, sd float64) {
+	var acc stats.Running
+	results := make([]float64, r.Scale.Reps)
+	for rep := 0; rep < r.Scale.Reps; rep++ {
+		cfg.Seed = r.Scale.Seed + uint64(rep)
+		res, _ := mcsim.Run(cfg) // truncated runs still return partial data
+		results[rep] = res.Latency.Mean
+	}
+	for _, v := range results {
+		if !math.IsNaN(v) {
+			acc.Add(v)
+		}
+	}
+	if acc.Count() == 0 {
+		return math.NaN(), 0
+	}
+	if acc.Count() == 1 {
+		return acc.Mean(), 0
+	}
+	return acc.Mean(), acc.StdDev()
+}
+
+// LatencyFigure regenerates one latency-vs-offered-traffic panel: for each
+// flit size a model curve and a simulation curve over a common traffic grid
+// whose right edge is set just past the latest model saturation point —
+// mirroring how the paper chose its x-ranges (they end where the analysis
+// saturates).
+func (r Runner) LatencyFigure(name, title string, org system.Organization, mFlits int, flitBytes []int, points int) (Figure, error) {
+	fig := Figure{
+		Name: name, Title: title, Org: org, MFlits: mFlits,
+		Scale: r.Scale, Options: r.Options,
+	}
+	sys, err := system.New(org)
+	if err != nil {
+		return fig, err
+	}
+	models := make([]*analytic.Model, len(flitBytes))
+	var xMax float64
+	for i, lm := range flitBytes {
+		par := units.Default().WithMessage(mFlits, lm)
+		m, err := analytic.New(sys, par, r.Options)
+		if err != nil {
+			return fig, err
+		}
+		models[i] = m
+		sat := m.SaturationPoint(1e-6, 1, 1e-3)
+		if !math.IsInf(sat, 1) && sat > xMax {
+			xMax = sat
+		}
+	}
+	if xMax == 0 {
+		return fig, fmt.Errorf("experiments: no finite saturation point for %s", name)
+	}
+	xMax *= 1.02
+	fig.XMax = xMax
+
+	fig.Curves = make([]Curve, len(flitBytes))
+	type job struct{ curve, point int }
+	var jobs []job
+	for ci, lm := range flitBytes {
+		fig.Curves[ci] = Curve{
+			Label:     fmt.Sprintf("Lm=%d", lm),
+			FlitBytes: lm,
+			Points:    make([]Point, points),
+		}
+		for pi := 0; pi < points; pi++ {
+			lambda := xMax * float64(pi+1) / float64(points)
+			pt := &fig.Curves[ci].Points[pi]
+			pt.Lambda = lambda
+			an, err := models[ci].MeanLatency(lambda)
+			if err != nil {
+				pt.Analysis = math.NaN()
+				pt.AnalysisSaturated = true
+			} else {
+				pt.Analysis = an
+			}
+			jobs = append(jobs, job{ci, pi})
+		}
+	}
+	zeroLoad := make([]float64, len(flitBytes))
+	for i, m := range models {
+		zl, err := m.MeanLatency(xMax * 1e-6)
+		if err != nil {
+			return fig, err
+		}
+		zeroLoad[i] = zl
+	}
+	r.parallelEach(len(jobs), func(k int) {
+		j := jobs[k]
+		pt := &fig.Curves[j.curve].Points[j.point]
+		par := units.Default().WithMessage(mFlits, flitBytes[j.curve])
+		mean, sd := r.simulatePoint(mcsim.Config{
+			Org: org, Par: par, LambdaG: pt.Lambda,
+			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+		})
+		pt.Simulation = mean
+		pt.SimStdDev = sd
+		pt.SimSaturated = mean > 50*zeroLoad[j.curve]
+	})
+	return fig, nil
+}
+
+// Figure3M32 regenerates the left panel of the paper's Fig. 3
+// (N=1120, m=8, M=32, Lm ∈ {256, 512}).
+func (r Runner) Figure3M32() (Figure, error) {
+	return r.LatencyFigure("fig3-m32", "Fig. 3 (left): N=1120, m=8, M=32",
+		system.Table1Org1(), 32, []int{256, 512}, 10)
+}
+
+// Figure3M64 regenerates the right panel of the paper's Fig. 3 (M=64).
+func (r Runner) Figure3M64() (Figure, error) {
+	return r.LatencyFigure("fig3-m64", "Fig. 3 (right): N=1120, m=8, M=64",
+		system.Table1Org1(), 64, []int{256, 512}, 10)
+}
+
+// Figure4M32 regenerates the left panel of the paper's Fig. 4
+// (N=544, m=4, M=32).
+func (r Runner) Figure4M32() (Figure, error) {
+	return r.LatencyFigure("fig4-m32", "Fig. 4 (left): N=544, m=4, M=32",
+		system.Table1Org2(), 32, []int{256, 512}, 10)
+}
+
+// Figure4M64 regenerates the right panel of the paper's Fig. 4 (M=64).
+func (r Runner) Figure4M64() (Figure, error) {
+	return r.LatencyFigure("fig4-m64", "Fig. 4 (right): N=544, m=4, M=64",
+		system.Table1Org2(), 64, []int{256, 512}, 10)
+}
+
+// Series converts the figure into plottable series: per curve, an analysis
+// line and a simulation line sharing the x grid.
+func (f Figure) Series() []plot.Series {
+	var out []plot.Series
+	markers := []rune{'a', 'o', 'A', 'O'}
+	for ci, c := range f.Curves {
+		xs := make([]float64, len(c.Points))
+		an := make([]float64, len(c.Points))
+		sim := make([]float64, len(c.Points))
+		for i, p := range c.Points {
+			xs[i] = p.Lambda
+			an[i] = p.Analysis
+			sim[i] = p.Simulation
+		}
+		out = append(out,
+			plot.Series{Label: "analysis " + c.Label, X: xs, Y: an, Marker: markers[(2*ci)%len(markers)]},
+			plot.Series{Label: "simulation " + c.Label, X: xs, Y: sim, Marker: markers[(2*ci+1)%len(markers)]},
+		)
+	}
+	return out
+}
+
+// Render draws the figure as an ASCII chart in the style of the paper's
+// panels (y clipped a little above the largest finite analysis value, so
+// saturated simulation points show as off-scale markers).
+func (f Figure) Render(width, height int) string {
+	var yCap float64
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			if !math.IsNaN(p.Analysis) && p.Analysis > yCap {
+				yCap = p.Analysis
+			}
+		}
+	}
+	yCap *= 1.6
+	var b strings.Builder
+	b.WriteString(plot.ASCII(f.Title, f.Series(), width, height, yCap))
+	b.WriteString(fmt.Sprintf("%10s  x-axis: offered traffic λ_g (messages/node/time-unit); y: mean latency\n", ""))
+	return b.String()
+}
+
+// SteadyStateError summarizes model accuracy in the steady-state region —
+// the paper's own accuracy claim is limited to that region ("the model
+// predicts … with a good degree of accuracy when the system … has not
+// reached the saturation point"). A point is in the steady-state region
+// when its simulated latency is below 3× the curve's low-load baseline;
+// the mean absolute relative error over those points is returned.
+func (f Figure) SteadyStateError() float64 {
+	var sum float64
+	var n int
+	for _, c := range f.Curves {
+		baseline := math.NaN()
+		for _, p := range c.Points {
+			if !p.AnalysisSaturated && !math.IsNaN(p.Analysis) {
+				baseline = p.Analysis
+				break
+			}
+		}
+		if math.IsNaN(baseline) {
+			continue
+		}
+		for _, p := range c.Points {
+			if p.AnalysisSaturated || p.SimSaturated || math.IsNaN(p.Simulation) || p.Simulation == 0 {
+				continue
+			}
+			if p.Simulation > 3*baseline {
+				continue // past the knee: the paper reports divergence here too
+			}
+			sum += math.Abs(p.Analysis-p.Simulation) / p.Simulation
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Table1 regenerates the paper's Table 1: the two validated organizations
+// with their derived quantities, verified against Eqs. 1–2.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1. System organizations for validation\n\n")
+	for _, org := range []system.Organization{system.Table1Org1(), system.Table1Org2()} {
+		b.WriteString(system.MustNew(org).Summary())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TrafficPatternStudy (Extension 1) measures simulated latency under the
+// uniform, hotspot and cluster-local patterns at a common traffic grid,
+// with the model's uniform-traffic curve for reference. It quantifies how
+// far the model's assumption 2 carries under non-uniform load.
+func (r Runner) TrafficPatternStudy(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analytic.New(sys, par, r.Options)
+	if err != nil {
+		return nil, err
+	}
+	sat := model.SaturationPoint(1e-6, 1, 1e-3)
+	if math.IsInf(sat, 1) {
+		return nil, fmt.Errorf("experiments: no saturation point")
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = 0.7 * sat * float64(i+1) / float64(points)
+	}
+	patterns := []struct {
+		label   string
+		factory func(*system.System) traffic.Pattern
+	}{
+		{"uniform", nil},
+		{"hotspot 5%", func(s *system.System) traffic.Pattern {
+			return traffic.Hotspot{N: s.TotalNodes(), Hot: 0, Fraction: 0.05}
+		}},
+		{"cluster-local 60%", func(s *system.System) traffic.Pattern {
+			return traffic.ClusterLocal{Sys: s, PLocal: 0.6}
+		}},
+	}
+	series := make([]plot.Series, len(patterns)+1)
+	series[0] = plot.Series{Label: "analysis uniform", X: xs, Y: make([]float64, points)}
+	for i, x := range xs {
+		v, err := model.MeanLatency(x)
+		if err != nil {
+			v = math.NaN()
+		}
+		series[0].Y[i] = v
+	}
+	for pi, p := range patterns {
+		series[pi+1] = plot.Series{Label: "sim " + p.label, X: xs, Y: make([]float64, points)}
+	}
+	type job struct{ pattern, point int }
+	var jobs []job
+	for pi := range patterns {
+		for i := range xs {
+			jobs = append(jobs, job{pi, i})
+		}
+	}
+	r.parallelEach(len(jobs), func(k int) {
+		j := jobs[k]
+		mean, _ := r.simulatePoint(mcsim.Config{
+			Org: org, Par: par, LambdaG: xs[j.point],
+			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+			Pattern: patterns[j.pattern].factory,
+		})
+		series[j.pattern+1].Y[j.point] = mean
+	})
+	return series, nil
+}
+
+// RoutingAblation (Ablation B) contrasts balanced destination-digit ascent
+// with oblivious random ascent in the simulator, quantifying the switch
+// contention the paper's routing choice avoids.
+func (r Runner) RoutingAblation(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analytic.New(sys, par, r.Options)
+	if err != nil {
+		return nil, err
+	}
+	sat := model.SaturationPoint(1e-6, 1, 1e-3)
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = 0.85 * sat * float64(i+1) / float64(points)
+	}
+	modes := []struct {
+		label string
+		mode  routing.Mode
+	}{
+		{"balanced", routing.Balanced},
+		{"random-up", routing.RandomUp},
+	}
+	series := make([]plot.Series, len(modes))
+	for mi := range modes {
+		series[mi] = plot.Series{Label: "sim " + modes[mi].label, X: xs, Y: make([]float64, points)}
+	}
+	type job struct{ mode, point int }
+	var jobs []job
+	for mi := range modes {
+		for i := range xs {
+			jobs = append(jobs, job{mi, i})
+		}
+	}
+	r.parallelEach(len(jobs), func(k int) {
+		j := jobs[k]
+		mean, _ := r.simulatePoint(mcsim.Config{
+			Org: org, Par: par, LambdaG: xs[j.point],
+			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+			RoutingMode: modes[j.mode].mode,
+		})
+		series[j.mode].Y[j.point] = mean
+	})
+	return series, nil
+}
+
+// InterpretationAblation (Ablation A) plots the calibrated model, the
+// paper-literal model and the simulation on one grid, documenting why the
+// calibrated reading was chosen (see DESIGN.md §3).
+func (r Runner) InterpretationAblation(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	calibrated, err := analytic.New(sys, par, analytic.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	literal, err := analytic.New(sys, par, analytic.PaperLiteralOptions())
+	if err != nil {
+		return nil, err
+	}
+	sat := calibrated.SaturationPoint(1e-6, 1, 1e-3)
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = sat * float64(i+1) / float64(points)
+	}
+	mk := func(label string, m *analytic.Model) plot.Series {
+		s := plot.Series{Label: label, X: xs, Y: make([]float64, points)}
+		for i, x := range xs {
+			v, err := m.MeanLatency(x)
+			if err != nil {
+				v = math.NaN()
+			}
+			s.Y[i] = v
+		}
+		return s
+	}
+	series := []plot.Series{
+		mk("model calibrated", calibrated),
+		mk("model paper-literal", literal),
+		{Label: "simulation", X: xs, Y: make([]float64, points)},
+	}
+	r.parallelEach(points, func(i int) {
+		mean, _ := r.simulatePoint(mcsim.Config{
+			Org: org, Par: par, LambdaG: xs[i],
+			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+		})
+		series[2].Y[i] = mean
+	})
+	return series, nil
+}
+
+// RateHeterogeneityStudy (Extension 2) compares model and simulation on an
+// organization whose clusters inject at different rates, the processor-
+// power heterogeneity dimension from the authors' companion work [24].
+func (r Runner) RateHeterogeneityStudy(points int) ([]plot.Series, error) {
+	org := system.Organization{
+		Name:  "rate-hetero (N=96, C=8, m=4)",
+		Ports: 4,
+		Specs: []system.ClusterSpec{
+			{Count: 4, Levels: 2, RateFactor: 2}, // "fast" clusters
+			{Count: 4, Levels: 2, RateFactor: 1},
+		},
+	}
+	par := units.Default()
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analytic.New(sys, par, r.Options)
+	if err != nil {
+		return nil, err
+	}
+	sat := model.SaturationPoint(1e-6, 1, 1e-3)
+	xs := make([]float64, points)
+	for i := range xs {
+		// Stay in the steady-state region, where the model is valid.
+		xs[i] = 0.5 * sat * float64(i+1) / float64(points)
+	}
+	series := []plot.Series{
+		{Label: "analysis", X: xs, Y: make([]float64, points)},
+		{Label: "simulation", X: xs, Y: make([]float64, points)},
+	}
+	for i, x := range xs {
+		v, err := model.MeanLatency(x)
+		if err != nil {
+			v = math.NaN()
+		}
+		series[0].Y[i] = v
+	}
+	r.parallelEach(points, func(i int) {
+		mean, _ := r.simulatePoint(mcsim.Config{
+			Org: org, Par: par, LambdaG: xs[i],
+			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+		})
+		series[1].Y[i] = mean
+	})
+	return series, nil
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// tinyScale keeps the simulation side of the tests fast.
+func tinyScale() Scale { return Scale{Warmup: 300, Measure: 3000, Drain: 300, Seed: 1, Reps: 1} }
+
+func tinyOrg() system.Organization {
+	return system.Organization{
+		Name:  "tiny",
+		Ports: 4,
+		Specs: []system.ClusterSpec{
+			{Count: 2, Levels: 1},
+			{Count: 2, Levels: 2},
+		},
+	}
+}
+
+func TestLatencyFigureStructure(t *testing.T) {
+	r := NewRunner(tinyScale())
+	fig, err := r.LatencyFigure("test", "test panel", tinyOrg(), 32, []int{256, 512}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.XMax <= 0 {
+		t.Fatalf("XMax = %v", fig.XMax)
+	}
+	if len(fig.Curves) != 2 {
+		t.Fatalf("curves = %d, want 2", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		if len(c.Points) != 5 {
+			t.Fatalf("%s: %d points, want 5", c.Label, len(c.Points))
+		}
+		sawAnalysis := false
+		for i, p := range c.Points {
+			if p.Lambda <= 0 || p.Lambda > fig.XMax*1.0001 {
+				t.Errorf("%s[%d]: λ=%v outside (0, %v]", c.Label, i, p.Lambda, fig.XMax)
+			}
+			if !p.AnalysisSaturated {
+				sawAnalysis = true
+				if p.Analysis <= 0 || math.IsNaN(p.Analysis) {
+					t.Errorf("%s[%d]: analysis = %v", c.Label, i, p.Analysis)
+				}
+			}
+			if math.IsNaN(p.Simulation) || p.Simulation <= 0 {
+				t.Errorf("%s[%d]: simulation = %v", c.Label, i, p.Simulation)
+			}
+		}
+		if !sawAnalysis {
+			t.Errorf("%s: every analysis point saturated", c.Label)
+		}
+	}
+	// The Lm=512 curve must saturate earlier (its model curve ends first).
+	sat256, sat512 := 0, 0
+	for _, p := range fig.Curves[0].Points {
+		if p.AnalysisSaturated {
+			sat256++
+		}
+	}
+	for _, p := range fig.Curves[1].Points {
+		if p.AnalysisSaturated {
+			sat512++
+		}
+	}
+	if sat512 <= sat256 {
+		t.Errorf("Lm=512 should have more saturated points (%d) than Lm=256 (%d)", sat512, sat256)
+	}
+}
+
+func TestSteadyStateAgreement(t *testing.T) {
+	// In the steady-state region the model must track the simulator — the
+	// paper's headline claim. Accept ≤ 20% mean absolute relative error.
+	r := NewRunner(tinyScale())
+	fig, err := r.LatencyFigure("agree", "agreement", tinyOrg(), 32, []int{256}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := fig.SteadyStateError(); math.IsNaN(e) || e > 0.20 {
+		t.Errorf("steady-state mean relative error = %v, want ≤ 0.20", e)
+	}
+}
+
+func TestFigureRenderAndSeries(t *testing.T) {
+	r := NewRunner(tinyScale())
+	fig, err := r.LatencyFigure("render", "render panel", tinyOrg(), 32, []int{256}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fig.Series()); got != 2 {
+		t.Fatalf("series = %d, want 2 (analysis+simulation)", got)
+	}
+	out := fig.Render(60, 12)
+	for _, frag := range []string{"render panel", "analysis Lm=256", "simulation Lm=256", "offered traffic"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered figure missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable1Regeneration(t *testing.T) {
+	out := Table1()
+	for _, frag := range []string{
+		"Table 1", "N=1120", "C=32", "m=8", "N=544", "C=16", "m=4",
+		"n_i=1", "n_i=5",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 output missing %q", frag)
+		}
+	}
+}
+
+func TestReplicationsProduceErrorBars(t *testing.T) {
+	scale := tinyScale()
+	scale.Reps = 3
+	r := NewRunner(scale)
+	fig, err := r.LatencyFigure("reps", "replications", tinyOrg(), 32, []int{256}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, p := range fig.Curves[0].Points {
+		if p.SimStdDev > 0 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("no point carries a replication standard deviation")
+	}
+}
+
+func TestTrafficPatternStudy(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.TrafficPatternStudy(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4 (analysis + 3 patterns)", len(series))
+	}
+	// Cluster-local traffic avoids the inter path and must be faster than
+	// uniform at the same offered load.
+	uniform, local := series[1], series[3]
+	for i := range uniform.Y {
+		if !(local.Y[i] < uniform.Y[i]) {
+			t.Errorf("point %d: cluster-local %v not below uniform %v", i, local.Y[i], uniform.Y[i])
+		}
+	}
+}
+
+func TestRoutingAblation(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.RoutingAblation(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	for _, s := range series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || y <= 0 {
+				t.Errorf("%s[%d] = %v", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestInterpretationAblation(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.InterpretationAblation(tinyOrg(), units.Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	// The paper-literal model saturates within the calibrated model's
+	// stability range, so its curve must end in NaNs.
+	litNaN := 0
+	for _, y := range series[1].Y {
+		if math.IsNaN(y) {
+			litNaN++
+		}
+	}
+	if litNaN == 0 {
+		t.Error("paper-literal curve never saturated inside the grid")
+	}
+}
+
+func TestRateHeterogeneityStudy(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.RateHeterogeneityStudy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	// Model and simulation should agree within 25% at these mild loads.
+	for i := range series[0].Y {
+		an, sim := series[0].Y[i], series[1].Y[i]
+		if math.IsNaN(an) || math.IsNaN(sim) {
+			continue
+		}
+		if math.Abs(an-sim) > 0.25*sim {
+			t.Errorf("point %d: analysis %v vs sim %v differ by >25%%", i, an, sim)
+		}
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.BaselineComparison(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	// The store-and-forward baseline must sit well above both the wormhole
+	// model and the simulator at low load.
+	if !(series[1].Y[0] > 1.5*series[0].Y[0]) {
+		t.Errorf("baseline %v not well above wormhole model %v", series[1].Y[0], series[0].Y[0])
+	}
+	if !(series[1].Y[0] > 1.5*series[2].Y[0]) {
+		t.Errorf("baseline %v not well above simulation %v", series[1].Y[0], series[2].Y[0])
+	}
+	// And the wormhole model must be closer to the simulation throughout
+	// the steady-state region (past the knee the simulation diverges from
+	// both models and the comparison is meaningless).
+	for i := range series[0].Y {
+		wm, sf, sim := series[0].Y[i], series[1].Y[i], series[2].Y[i]
+		if math.IsNaN(wm) || math.IsNaN(sf) || sim > 3*series[2].Y[0] {
+			continue
+		}
+		if math.Abs(wm-sim) >= math.Abs(sf-sim) {
+			t.Errorf("point %d: wormhole model (%v) not closer to sim (%v) than baseline (%v)",
+				i, wm, sim, sf)
+		}
+	}
+}
+
+func TestSaturationSummary(t *testing.T) {
+	rows, err := SaturationSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		// The headline calibration result: the model's λ_sat lands within
+		// 15% of the paper's plotted x-range for every panel.
+		if r := row.ModelSat / row.PaperXMax; r < 0.85 || r > 1.15 {
+			t.Errorf("%s: λ_sat/x-max = %v, want within [0.85, 1.15]", row.Panel, r)
+		}
+		if !(row.BaselineSat > row.ModelSat) {
+			t.Errorf("%s: baseline saturation %v not beyond model %v",
+				row.Panel, row.BaselineSat, row.ModelSat)
+		}
+	}
+	out := FormatSaturationSummary(rows)
+	for _, frag := range []string{"Fig3-left", "Fig4-right", "model λ_sat", "paper x-max"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	p, q := PaperScale(), QuickScale()
+	if p.Warmup != 10000 || p.Measure != 100000 || p.Drain != 10000 {
+		t.Errorf("PaperScale = %+v does not match §4", p)
+	}
+	if q.Measure >= p.Measure {
+		t.Error("QuickScale not cheaper than PaperScale")
+	}
+}

@@ -1,0 +1,154 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStationarySumsToOne(t *testing.T) {
+	f := func(rates []uint8) bool {
+		n := len(rates) / 2
+		if n == 0 {
+			return true
+		}
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for i := 0; i < n; i++ {
+			birth[i] = float64(rates[2*i]%100) / 10
+			death[i] = float64(rates[2*i+1]%100)/10 + 0.1
+		}
+		pi, err := BirthDeath{Birth: birth, Death: death}.Stationary()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationaryDetailedBalance(t *testing.T) {
+	birth := []float64{2, 1, 0.5}
+	death := []float64{1, 1, 2}
+	pi, err := BirthDeath{Birth: birth, Death: death}.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range birth {
+		lhs := pi[i] * birth[i]
+		rhs := pi[i+1] * death[i]
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Errorf("detailed balance violated at %d: %v vs %v", i, lhs, rhs)
+		}
+	}
+}
+
+func TestStationaryMM1Truncated(t *testing.T) {
+	// M/M/1/K has π_k = (1-ρ)ρ^k/(1-ρ^{K+1}).
+	lambda, mu := 0.5, 1.0
+	const k = 5
+	birth := make([]float64, k)
+	death := make([]float64, k)
+	for i := range birth {
+		birth[i], death[i] = lambda, mu
+	}
+	pi, err := BirthDeath{Birth: birth, Death: death}.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	norm := (1 - rho) / (1 - math.Pow(rho, k+1))
+	for i := 0; i <= k; i++ {
+		want := norm * math.Pow(rho, float64(i))
+		if math.Abs(pi[i]-want) > 1e-12 {
+			t.Errorf("π[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestMM1KLossProbability(t *testing.T) {
+	// Erlang-like loss through the generic solver vs the closed form.
+	lambda, mu := 2.0, 1.0
+	const k = 3
+	got, err := MM1KLossProbability(lambda, mu, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	want := (1 - rho) * math.Pow(rho, k) / (1 - math.Pow(rho, k+1))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("loss = %v, want %v", got, want)
+	}
+	if _, err := MM1KLossProbability(1, 1, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestMalformedChains(t *testing.T) {
+	if _, err := (BirthDeath{Birth: []float64{1}, Death: nil}).Stationary(); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := (BirthDeath{Birth: []float64{-1}, Death: []float64{1}}).Stationary(); err == nil {
+		t.Error("negative birth rate accepted")
+	}
+	if _, err := (BirthDeath{Birth: []float64{1}, Death: []float64{0}}).Stationary(); err == nil {
+		t.Error("zero death rate accepted")
+	}
+}
+
+func TestBusyProbabilityTwoState(t *testing.T) {
+	// For the two-state chain the generic solver must agree with the
+	// closed-form ηS/(1+ηS).
+	eta, s := 0.3, 2.0
+	chain := BirthDeath{Birth: []float64{eta}, Death: []float64{1 / s}}
+	got, err := chain.BusyProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TwoStateBusy(eta, s)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("busy = %v, want %v", got, want)
+	}
+}
+
+func TestChannelBlockingClampAndLinearization(t *testing.T) {
+	if p := ChannelBlockingProbability(0.5, 1); p != 0.5 {
+		t.Errorf("P_B(0.5) = %v, want 0.5", p)
+	}
+	if p := ChannelBlockingProbability(3, 1); p != 1 {
+		t.Errorf("P_B must clamp to 1, got %v", p)
+	}
+	if p := ChannelBlockingProbability(-1, 1); p != 0 {
+		t.Errorf("P_B must clamp to 0, got %v", p)
+	}
+	// The paper's linearization upper-bounds the exact two-state busy
+	// probability and converges to it at low utilization.
+	f := func(eRaw, sRaw uint8) bool {
+		eta := float64(eRaw) / 300
+		s := float64(sRaw%20) / 10
+		lin := ChannelBlockingProbability(eta, s)
+		exact := TwoStateBusy(eta, s)
+		return lin >= exact-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if math.Abs(ChannelBlockingProbability(0.01, 1)-TwoStateBusy(0.01, 1)) > 1e-4 {
+		t.Error("linearization should match exact chain at low load")
+	}
+}
+
+func TestTwoStateBusyEdgeCases(t *testing.T) {
+	if TwoStateBusy(0, 1) != 0 || TwoStateBusy(1, 0) != 0 {
+		t.Error("degenerate chains should be never-busy")
+	}
+}

@@ -1,0 +1,424 @@
+// Package mcsim is the whole-system simulator of the heterogeneous
+// multi-cluster architecture: per-cluster ICN1 and ECN1 fat trees, the
+// global ICN2 tree, and the concentrator/dispatcher devices that bridge
+// them, all driven by Poisson sources and measured exactly like the paper's
+// validation runs (§4).
+//
+// # Physical realization
+//
+// Each cluster i instantiates two independent m-port n_i-trees: ICN1 carries
+// intra-cluster messages node→node; ECN1 carries the inter-cluster legs. The
+// cluster's concentrator owns one dedicated up-link on every ECN1 root
+// switch and occupies one "node" position of the ICN2 tree (see DESIGN.md §3
+// for why this realization matches the paper's model accounting). An
+// inter-cluster message travels one *merged* wormhole journey — the paper is
+// explicit that "since the flow control mechanism is wormhole, the latency
+// of these networks should be calculated as a merge one" (§3.3) — over the
+// concatenation
+//
+//	ECN1_i: node → leaf → … → root → concentrator_i   (n_i+1 links)
+//	ICN2  : concentrator_i → … NCA … → concentrator_v (2h links)
+//	ECN1_v: concentrator_v → root → … → leaf → node   (n_v+1 links)
+//
+// Concentrators are cut-through devices ("simple bi-directional buffers" in
+// the paper's words): the worm's header flows straight through while the
+// body pipelines behind it. Concentrator queueing arises on the
+// concentrator's links — each message holds the concentrator↔ICN2 injection
+// link for M flit times, which is what the paper models as an M/G/1 queue
+// with deterministic service M·t_cs (Eq. 33).
+//
+// # Measurement methodology
+//
+// Following §4: messages are counted in generation order; the first Warmup
+// messages are delivered but not measured, the next Measure messages are
+// measured (latency = generation to tail-flit delivery at the destination
+// node), and Drain further messages are generated to keep the system loaded
+// while the measured ones finish. The run ends as soon as every measured
+// message has been delivered.
+package mcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcnet/internal/des"
+	"mcnet/internal/rng"
+	"mcnet/internal/routing"
+	"mcnet/internal/stats"
+	"mcnet/internal/system"
+	"mcnet/internal/traffic"
+	"mcnet/internal/units"
+	"mcnet/internal/wormhole"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Org describes the multi-cluster system (e.g. system.Table1Org1()).
+	Org system.Organization
+	// Par supplies the technology parameters and message geometry.
+	Par units.Params
+	// LambdaG is λ_g: the per-node Poisson message generation rate. Nodes in
+	// clusters with a RateFactor generate at LambdaG·RateFactor.
+	LambdaG float64
+	// Warmup, Measure and Drain are the message counts of the three
+	// measurement phases (the paper uses 10 000 / 100 000 / 10 000).
+	Warmup, Measure, Drain int
+	// Seed drives all randomness; equal seeds give bit-identical runs.
+	Seed uint64
+	// Pattern optionally overrides the destination pattern (default:
+	// uniform, the paper's assumption 2). The factory receives the
+	// materialized system.
+	Pattern func(*system.System) traffic.Pattern
+	// RoutingMode selects the ascent discipline (default: balanced).
+	RoutingMode routing.Mode
+	// MaxEvents bounds the event count as a safety net (0 = 2^40).
+	MaxEvents uint64
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Latency aggregates generation→delivery times of measured messages.
+	Latency stats.Summary
+	// IntraLatency and InterLatency split the measured messages by whether
+	// they left their source cluster.
+	IntraLatency stats.Summary
+	InterLatency stats.Summary
+	// SourceWait aggregates the injection-queue waits of measured messages
+	// (the quantity the model's Eqs. 23/30 approximate).
+	SourceWait stats.Summary
+	// PerCluster aggregates measured latency by source cluster.
+	PerCluster []stats.Summary
+	// Generated counts all generated messages; DeliveredMeasured counts the
+	// measured messages that reached their destination (== Measure unless
+	// the run was truncated).
+	Generated         int
+	DeliveredMeasured int
+	// ObservedPOut is the empirical fraction of measured messages that left
+	// their source cluster (compare system.POut / Eq. 13).
+	ObservedPOut float64
+	// SimTime is the simulated time at which the run stopped; Events is the
+	// number of events executed.
+	SimTime float64
+	Events  uint64
+	// Truncated reports that the event budget was exhausted before every
+	// measured message arrived (an extreme-saturation symptom).
+	Truncated bool
+}
+
+// message tracks one end-to-end message across its segments.
+type message struct {
+	id       uint64
+	src, dst int // global node ids
+	srcCl    int
+	dstCl    int
+	genTime  float64
+	measured bool
+	sel1     uint64 // ECN1 ascent root selector
+	sel2     uint64 // ICN2 route selector (random mode only)
+	sel3     uint64 // ECN1 descent root selector
+	worm     wormhole.Worm
+	sim      *Sim
+}
+
+// clusterNets holds the channel-table offsets of one cluster's networks.
+type clusterNets struct {
+	icn1Base     int32
+	ecn1Base     int32
+	rootUpBase   int32 // ECN1 root → concentrator links, indexed by root
+	rootDownBase int32 // concentrator → ECN1 root links, indexed by root
+	router       routing.Router
+}
+
+// Sim is a fully built simulation instance. Create with New, run with Run.
+type Sim struct {
+	cfg   Config
+	sys   *system.System
+	sched des.Scheduler
+	net   *wormhole.Network
+
+	clusters []clusterNets
+	icn2Base int32
+	icn2R    routing.Router
+
+	pattern  traffic.Pattern
+	nodeRNG  []*rng.Source
+	genCount int
+	genCap   int
+
+	latency      stats.Running
+	intraLatency stats.Running
+	interLatency stats.Running
+	sourceWait   stats.Running
+	perCluster   []stats.Running
+	interCount   int64
+	measuredDone int
+	freeMsgs     []*message
+}
+
+// New builds a simulation instance.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Par.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LambdaG <= 0 {
+		return nil, fmt.Errorf("mcsim: LambdaG %v must be positive", cfg.LambdaG)
+	}
+	if cfg.Warmup < 0 || cfg.Measure <= 0 || cfg.Drain < 0 {
+		return nil, fmt.Errorf("mcsim: bad phase counts (%d,%d,%d)", cfg.Warmup, cfg.Measure, cfg.Drain)
+	}
+	sys, err := system.New(cfg.Org)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, sys: sys}
+
+	// Lay out the global channel table: per-cluster ICN1, ECN1 and
+	// concentrator links, then ICN2. Node↔switch links use t_cn; everything
+	// else (switch↔switch, root↔concentrator, concentrator↔ICN2) uses t_cs.
+	tcn, tcs := cfg.Par.Tcn(), cfg.Par.Tcs()
+	var flits []float64
+	appendTree := func(t interface {
+		Channels() int
+		IsNodeChannel(int) bool
+	}, nodesAreDevices bool) int32 {
+		base := int32(len(flits))
+		for c := 0; c < t.Channels(); c++ {
+			if !nodesAreDevices && t.IsNodeChannel(c) {
+				flits = append(flits, tcn)
+			} else {
+				flits = append(flits, tcs)
+			}
+		}
+		return base
+	}
+	s.clusters = make([]clusterNets, sys.C())
+	for i := range sys.Clusters {
+		cl := &sys.Clusters[i]
+		cn := &s.clusters[i]
+		cn.icn1Base = appendTree(cl.Shape, false)
+		cn.ecn1Base = appendTree(cl.Shape, false)
+		cn.rootUpBase = int32(len(flits))
+		for r := 0; r < cl.Shape.Roots(); r++ {
+			flits = append(flits, tcs)
+		}
+		cn.rootDownBase = int32(len(flits))
+		for r := 0; r < cl.Shape.Roots(); r++ {
+			flits = append(flits, tcs)
+		}
+		cn.router = routing.Router{T: cl.Shape, Mode: cfg.RoutingMode}
+	}
+	// ICN2 "nodes" are concentrators (devices), so its node links also use t_cs.
+	s.icn2Base = appendTree(sys.ICN2, true)
+	s.icn2R = routing.Router{T: sys.ICN2, Mode: cfg.RoutingMode}
+	s.net = wormhole.New(&s.sched, flits)
+
+	if cfg.Pattern != nil {
+		s.pattern = cfg.Pattern(sys)
+	} else {
+		s.pattern = traffic.Uniform{N: sys.TotalNodes()}
+	}
+	s.nodeRNG = make([]*rng.Source, sys.TotalNodes())
+	for n := range s.nodeRNG {
+		s.nodeRNG[n] = rng.NewStream(cfg.Seed, uint64(n))
+	}
+	s.perCluster = make([]stats.Running, sys.C())
+	s.genCap = cfg.Warmup + cfg.Measure + cfg.Drain
+	return s, nil
+}
+
+// System returns the materialized system (for tests and tools).
+func (s *Sim) System() *system.System { return s.sys }
+
+// Network exposes the wormhole substrate (for tests and tools).
+func (s *Sim) Network() *wormhole.Network { return s.net }
+
+// hash64 is SplitMix64's output function, used to derive deterministic
+// balanced selectors from message coordinates.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ErrTruncated reports a run that hit its event budget before completing the
+// measurement phase.
+var ErrTruncated = errors.New("mcsim: event budget exhausted before measurement completed")
+
+// Run executes the simulation to completion and returns the measurements.
+// The returned error is non-nil only for truncated runs; the Result is
+// meaningful (partial) in that case too.
+func (s *Sim) Run() (Result, error) {
+	// Prime every node's first generation event.
+	for n := 0; n < s.sys.TotalNodes(); n++ {
+		node := n
+		ci, _ := s.sys.ClusterOf(node)
+		rate := s.cfg.LambdaG * s.sys.Clusters[ci].RateFactor
+		s.sched.At(s.nodeRNG[node].Exp(rate), func() { s.generate(node, rate) })
+	}
+	maxEvents := s.cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1 << 40
+	}
+	truncated := false
+	for s.measuredDone < s.cfg.Measure {
+		if s.sched.Executed() >= maxEvents {
+			truncated = true
+			break
+		}
+		if !s.sched.Step() {
+			// Event list exhausted: every in-flight message delivered. This
+			// can only mean the measurement phase finished (generation stops
+			// on its own) — unless phase counts exceed generated messages.
+			break
+		}
+	}
+	res := Result{
+		Latency:           s.latency.Summarize(),
+		IntraLatency:      s.intraLatency.Summarize(),
+		InterLatency:      s.interLatency.Summarize(),
+		SourceWait:        s.sourceWait.Summarize(),
+		Generated:         s.genCount,
+		DeliveredMeasured: s.measuredDone,
+		SimTime:           s.sched.Now(),
+		Events:            s.sched.Executed(),
+		Truncated:         truncated,
+	}
+	res.PerCluster = make([]stats.Summary, len(s.perCluster))
+	for i := range s.perCluster {
+		res.PerCluster[i] = s.perCluster[i].Summarize()
+	}
+	if n := s.latency.Count(); n > 0 {
+		res.ObservedPOut = float64(s.interCount) / float64(n)
+	} else {
+		res.ObservedPOut = math.NaN()
+	}
+	if truncated {
+		return res, ErrTruncated
+	}
+	return res, nil
+}
+
+// generate creates one message at `node` and schedules the node's next
+// generation while the global budget lasts.
+func (s *Sim) generate(node int, rate float64) {
+	if s.genCount >= s.genCap {
+		return
+	}
+	r := s.nodeRNG[node]
+	idx := s.genCount
+	s.genCount++
+
+	m := s.getMessage()
+	m.id = uint64(idx)
+	m.sim = s
+	m.src = node
+	m.dst = s.pattern.Dest(node, r)
+	m.srcCl, _ = s.sys.ClusterOf(m.src)
+	m.dstCl, _ = s.sys.ClusterOf(m.dst)
+	m.genTime = s.sched.Now()
+	m.measured = idx >= s.cfg.Warmup && idx < s.cfg.Warmup+s.cfg.Measure
+	if s.cfg.RoutingMode == routing.RandomUp {
+		m.sel1, m.sel2, m.sel3 = r.Uint64(), r.Uint64(), r.Uint64()
+	} else {
+		m.sel1 = hash64(uint64(m.src)<<32 ^ uint64(m.dst))
+		m.sel2 = 0 // balanced ICN2 routing uses destination digits
+		m.sel3 = hash64(uint64(m.dst))
+	}
+	s.launch(m)
+
+	if s.genCount < s.genCap {
+		s.sched.After(r.Exp(rate), func() { s.generate(node, rate) })
+	}
+}
+
+// launch injects a message as a single wormhole worm.
+func (s *Sim) launch(m *message) {
+	if m.srcCl == m.dstCl {
+		// Intra-cluster: a plain up*/down* journey through ICN1.
+		cn := &s.clusters[m.srcCl]
+		_, srcLocal := s.sys.ClusterOf(m.src)
+		_, dstLocal := s.sys.ClusterOf(m.dst)
+		path := offsetPath(cn.router.Route(srcLocal, dstLocal, m.sel2), cn.icn1Base)
+		m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, func(*wormhole.Worm) { s.deliver(m) })
+		s.net.Inject(&m.worm)
+		return
+	}
+	// Inter-cluster: one merged journey ECN1_i → ICN2 → ECN1_v with
+	// cut-through concentrators (paper §3.3).
+	src := &s.clusters[m.srcCl]
+	dst := &s.clusters[m.dstCl]
+	_, srcLocal := s.sys.ClusterOf(m.src)
+	_, dstLocal := s.sys.ClusterOf(m.dst)
+
+	up, srcRoot := src.router.UpToRoot(srcLocal, m.sel1)
+	path := offsetPath(up, src.ecn1Base)
+	path = append(path, src.rootUpBase+int32(src.router.T.SwitchIndex(srcRoot)))
+	path = appendOffset(path, s.icn2R.Route(m.srcCl, m.dstCl, m.sel2), s.icn2Base)
+	dstRoot := dst.router.RootFor(m.sel3)
+	path = append(path, dst.rootDownBase+int32(dst.router.T.SwitchIndex(dstRoot)))
+	path = appendOffset(path, dst.router.DownFromRoot(dstRoot, dstLocal), dst.ecn1Base)
+
+	m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, func(*wormhole.Worm) { s.deliver(m) })
+	s.net.Inject(&m.worm)
+}
+
+// deliver records the end-to-end latency of a completed message.
+func (s *Sim) deliver(m *message) {
+	if m.measured {
+		lat := s.sched.Now() - m.genTime
+		s.latency.Add(lat)
+		s.sourceWait.Add(m.worm.SourceWait())
+		s.perCluster[m.srcCl].Add(lat)
+		if m.srcCl == m.dstCl {
+			s.intraLatency.Add(lat)
+		} else {
+			s.interLatency.Add(lat)
+			s.interCount++
+		}
+		s.measuredDone++
+	}
+	s.putMessage(m)
+}
+
+// getMessage and putMessage recycle message structs (and their worm path
+// buffers) across the run.
+func (s *Sim) getMessage() *message {
+	if n := len(s.freeMsgs); n > 0 {
+		m := s.freeMsgs[n-1]
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+func (s *Sim) putMessage(m *message) {
+	s.freeMsgs = append(s.freeMsgs, m)
+}
+
+// offsetPath converts a tree-local route to global channel indices.
+func offsetPath(route []int, base int32) []int32 {
+	path := make([]int32, len(route))
+	for i, c := range route {
+		path[i] = base + int32(c)
+	}
+	return path
+}
+
+// appendOffset appends a tree-local route to an existing global path.
+func appendOffset(path []int32, route []int, base int32) []int32 {
+	for _, c := range route {
+		path = append(path, base+int32(c))
+	}
+	return path
+}
+
+// Run builds and runs a simulation in one call.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

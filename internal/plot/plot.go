@@ -1,0 +1,208 @@
+// Package plot renders experiment output: ASCII scatter charts for the
+// terminal, CSV for external plotting, and markdown tables for the reports.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named set of (x, y) points. NaN y values are skipped; +Inf
+// y values are drawn as off-scale markers at the top of the chart.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	Marker rune
+}
+
+// defaultMarkers cycles when a series has no explicit marker.
+var defaultMarkers = []rune{'o', 'x', '+', '*', '#', '@'}
+
+// ASCII renders the series into a width×height character chart with axes.
+// yCap, when positive, clips larger y values to the top row (rendered '^'),
+// which keeps saturated simulation points from squashing the scale.
+func ASCII(title string, series []Series, width, height int, yCap float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xMax, yMax float64
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] > xMax {
+				xMax = s.X[i]
+			}
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if yCap > 0 && y > yCap {
+				continue
+			}
+			if y > yMax {
+				yMax = y
+			}
+		}
+	}
+	if xMax == 0 {
+		xMax = 1
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	yMax *= 1.05
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int(s.X[i] / xMax * float64(width-1))
+			var row int
+			if math.IsInf(y, 1) || (yCap > 0 && y > yCap) {
+				row = 0
+				grid[row][clampInt(col, 0, width-1)] = '^'
+				continue
+			}
+			row = height - 1 - int(y/yMax*float64(height-1))
+			grid[clampInt(row, 0, height-1)][clampInt(col, 0, width-1)] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, line := range grid {
+		yVal := yMax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  0%*s\n", "", width-1, fmt.Sprintf("%.3g", xMax))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Label))
+	}
+	fmt.Fprintf(&b, "%10s  legend: %s  (^ = off-scale)\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// AutoCap suggests a y-axis cap for mixed analysis/simulation series: 4×
+// the largest finite value of the model series (labels containing
+// "analysis" or "model"), so saturated simulation points render off-scale
+// instead of squashing the chart. It returns 0 (no cap) when no model
+// series exists.
+func AutoCap(series []Series) float64 {
+	var peak float64
+	for _, s := range series {
+		if !strings.Contains(s.Label, "analysis") && !strings.Contains(s.Label, "model") {
+			continue
+		}
+		for _, y := range s.Y {
+			if !math.IsNaN(y) && !math.IsInf(y, 0) && y > peak {
+				peak = y
+			}
+		}
+	}
+	return 4 * peak
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CSV writes the series as a wide table: x followed by one column per
+// series (aligned by point index; series must share the x grid).
+func CSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, sanitize(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, formatY(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatY(y float64) string {
+	switch {
+	case math.IsNaN(y):
+		return ""
+	case math.IsInf(y, 1):
+		return "inf"
+	default:
+		return fmt.Sprintf("%g", y)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.NewReplacer(",", ";", "\n", " ").Replace(s)
+}
+
+// MarkdownTable renders the series as a markdown table with one row per x.
+func MarkdownTable(series []Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("| x |")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %s |", s.Label)
+	}
+	b.WriteString("\n|---|")
+	for range series {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "| %.4g |", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %s |", formatY(s.Y[i]))
+			} else {
+				b.WriteString("  |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() []Series {
+	return []Series{
+		{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Label: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}
+}
+
+func TestASCIIBasicRendering(t *testing.T) {
+	out := ASCII("title", sample(), 40, 10, 0)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "legend: o=up  x=flat") {
+		t.Errorf("legend malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 grid rows + axis + x labels + legend
+	if len(lines) != 14 {
+		t.Errorf("rendered %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIHandlesInfAndNaN(t *testing.T) {
+	s := []Series{{
+		Label: "s",
+		X:     []float64{0, 1, 2},
+		Y:     []float64{1, math.Inf(1), math.NaN()},
+	}}
+	out := ASCII("", s, 30, 6, 0)
+	if !strings.Contains(out, "^") {
+		t.Error("no off-scale marker for +Inf")
+	}
+}
+
+func TestASCIIYCapClipsLargeValues(t *testing.T) {
+	s := []Series{{
+		Label: "s",
+		X:     []float64{0, 1},
+		Y:     []float64{1, 1e9},
+	}}
+	out := ASCII("", s, 30, 6, 10)
+	if !strings.Contains(out, "^") {
+		t.Error("capped value not drawn off-scale")
+	}
+	// The y-axis should scale to ~1, not 1e9.
+	if strings.Contains(out, "e+09") {
+		t.Errorf("y axis blew up:\n%s", out)
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	out := ASCII("", sample(), 1, 1, 0)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestAutoCap(t *testing.T) {
+	series := []Series{
+		{Label: "analysis x", X: []float64{0, 1}, Y: []float64{10, math.NaN()}},
+		{Label: "simulation x", X: []float64{0, 1}, Y: []float64{12, 1e9}},
+	}
+	if got := AutoCap(series); got != 40 {
+		t.Errorf("AutoCap = %v, want 4×10", got)
+	}
+	if got := AutoCap(series[1:]); got != 0 {
+		t.Errorf("AutoCap with no model series = %v, want 0", got)
+	}
+	model := []Series{{Label: "model y", X: []float64{0}, Y: []float64{math.Inf(1)}}}
+	if got := AutoCap(model); got != 0 {
+		t.Errorf("AutoCap over infinite model values = %v, want 0", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	s := []Series{
+		{Label: "a,b", X: []float64{1, 2}, Y: []float64{10, math.Inf(1)}},
+		{Label: "c", X: []float64{1, 2}, Y: []float64{30, math.NaN()}},
+	}
+	if err := CSV(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "x,a;b,c" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,30" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,inf," {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := CSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty input produced output %q", b.String())
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	out := MarkdownTable(sample())
+	if !strings.Contains(out, "| x | up | flat |") {
+		t.Errorf("header malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "| 3 | 3 | 1 |") {
+		t.Errorf("last row malformed:\n%s", out)
+	}
+	if MarkdownTable(nil) != "" {
+		t.Error("nil series should render empty")
+	}
+}

@@ -1,0 +1,181 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d for identical seeds", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestStreamsAreIndependentlySeeded(t *testing.T) {
+	// Streams from the same seed must differ from each other and be
+	// reproducible.
+	s0a, s0b := NewStream(7, 0), NewStream(7, 0)
+	s1 := NewStream(7, 1)
+	diff := false
+	for i := 0; i < 100; i++ {
+		v0a, v0b, v1 := s0a.Uint64(), s0b.Uint64(), s1.Uint64()
+		if v0a != v0b {
+			t.Fatalf("stream (7,0) not reproducible at draw %d", i)
+		}
+		if v0a != v1 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("streams (7,0) and (7,1) produced identical output")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean of %d uniforms = %v, want ≈0.5", n, mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(5)
+	const n, buckets = 120000, 12
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := s.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn(%d) = %d out of range", buckets, v)
+		}
+		counts[v]++
+	}
+	expect := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("bucket %d: count %d deviates from %v by more than 5σ", b, c, expect)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	const rate = 0.25
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(rate)
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp(%v) = %v", rate, v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want) > 0.05*want {
+		t.Errorf("mean of %d Exp(%v) = %v, want ≈%v", n, rate, mean, want)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReseedResetsSequence(t *testing.T) {
+	s := New(77)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(77)
+	for i := range first {
+		if v := s.Uint64(); v != first[i] {
+			t.Fatalf("after Reseed, draw %d = %d, want %d", i, v, first[i])
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Exp(1)
+	}
+	_ = sink
+}

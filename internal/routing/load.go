@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"fmt"
+
+	"mcnet/internal/tree"
+)
+
+// LoadMatrix counts, for every directed channel of the tree, how many of
+// the N(N−1) ordered all-pairs routes traverse it under the router's mode.
+// In RandomUp mode the ascent selectors are derived deterministically from
+// the pair, so the matrix is reproducible.
+func (r *Router) LoadMatrix() []int {
+	t := r.T
+	loads := make([]int, t.Channels())
+	n := t.Nodes()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			sel := uint64(src)*0x9e3779b97f4a7c15 ^ uint64(dst)
+			for _, c := range r.Route(src, dst, sel) {
+				loads[c]++
+			}
+		}
+	}
+	return loads
+}
+
+// LoadSummary aggregates a load matrix per channel kind.
+type LoadSummary struct {
+	Kind     tree.ChannelKind
+	Channels int
+	Min, Max int
+	Mean     float64
+}
+
+// String renders one row.
+func (s LoadSummary) String() string {
+	return fmt.Sprintf("%-10v channels=%-6d load min=%-8d mean=%-10.1f max=%-8d imbalance=%.3f",
+		s.Kind, s.Channels, s.Min, s.Mean, s.Max, s.Imbalance())
+}
+
+// Imbalance returns max/mean, the figure of merit of the balanced-routing
+// claim (1.0 = perfectly uniform).
+func (s LoadSummary) Imbalance() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return float64(s.Max) / s.Mean
+}
+
+// SummarizeLoads groups a load matrix by channel kind.
+func SummarizeLoads(t *tree.Tree, loads []int) []LoadSummary {
+	byKind := make(map[tree.ChannelKind]*LoadSummary)
+	order := []tree.ChannelKind{tree.ChanNodeUp, tree.ChanNodeDown, tree.ChanUp, tree.ChanDown}
+	for _, k := range order {
+		byKind[k] = &LoadSummary{Kind: k, Min: 1 << 62}
+	}
+	for c, load := range loads {
+		s := byKind[t.Channel(c).Kind]
+		s.Channels++
+		s.Mean += float64(load)
+		if load < s.Min {
+			s.Min = load
+		}
+		if load > s.Max {
+			s.Max = load
+		}
+	}
+	out := make([]LoadSummary, 0, len(order))
+	for _, k := range order {
+		s := byKind[k]
+		if s.Channels > 0 {
+			s.Mean /= float64(s.Channels)
+		} else {
+			s.Min = 0
+		}
+		out = append(out, *s)
+	}
+	return out
+}

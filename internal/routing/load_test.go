@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"testing"
+
+	"mcnet/internal/tree"
+)
+
+func TestLoadMatrixNodeChannels(t *testing.T) {
+	// Every node injects N−1 routes and receives N−1 routes, so every
+	// node-up and node-down channel carries exactly N−1.
+	tr := mustTree(t, 4, 3)
+	r := Router{T: tr}
+	loads := r.LoadMatrix()
+	n := tr.Nodes()
+	for x := 0; x < n; x++ {
+		if got := loads[tr.NodeUpChannel(x)]; got != n-1 {
+			t.Errorf("node-up %d: load %d, want %d", x, got, n-1)
+		}
+		if got := loads[tr.NodeDownChannel(x)]; got != n-1 {
+			t.Errorf("node-down %d: load %d, want %d", x, got, n-1)
+		}
+	}
+}
+
+func TestLoadMatrixTotalCrossings(t *testing.T) {
+	// Σ loads == Σ route lengths == Σ over pairs of 2·NCALevel, which the
+	// distance distribution predicts as N(N−1)·d_avg.
+	tr := mustTree(t, 6, 2)
+	r := Router{T: tr}
+	loads := r.LoadMatrix()
+	var total int
+	for _, l := range loads {
+		total += l
+	}
+	n := tr.Nodes()
+	want := float64(n*(n-1)) * tr.AvgDistance()
+	if float64(total) != want {
+		t.Errorf("total crossings = %d, d_avg predicts %v", total, want)
+	}
+}
+
+func TestBalancedLoadsAreUniformPerKindAndLevel(t *testing.T) {
+	tr := mustTree(t, 4, 3)
+	r := Router{T: tr}
+	sums := SummarizeLoads(tr, r.LoadMatrix())
+	for _, s := range sums {
+		if s.Kind == tree.ChanUp || s.Kind == tree.ChanNodeUp || s.Kind == tree.ChanNodeDown {
+			if s.Imbalance() > 1.0+1e-9 && s.Kind != tree.ChanUp {
+				t.Errorf("%v: imbalance %v, want 1.0", s.Kind, s.Imbalance())
+			}
+		}
+	}
+	// Ascending channels are uniform per level, not across levels; the
+	// overall imbalance must still be modest for the balanced router.
+	for _, s := range sums {
+		if s.Kind == tree.ChanUp && s.Imbalance() > 2.0 {
+			t.Errorf("balanced ascent imbalance %v too high", s.Imbalance())
+		}
+	}
+}
+
+func TestRandomUpLoadsLessBalancedThanDigits(t *testing.T) {
+	tr := mustTree(t, 4, 3)
+	bal := Router{T: tr, Mode: Balanced}
+	rnd := Router{T: tr, Mode: RandomUp}
+	balSum := SummarizeLoads(tr, bal.LoadMatrix())
+	rndSum := SummarizeLoads(tr, rnd.LoadMatrix())
+	// Down-channel loads: balanced concentrates per destination (exactly
+	// one chain per dst) and random spreads; both must serve every
+	// destination, i.e. no down channel kind can be empty.
+	for _, sums := range [][]LoadSummary{balSum, rndSum} {
+		for _, s := range sums {
+			if s.Channels == 0 {
+				t.Errorf("missing channel kind in summary: %+v", s)
+			}
+		}
+	}
+	// The balanced mode's descending max load cannot exceed the random
+	// mode's by definition of its per-destination determinism... both are
+	// valid; just verify the summaries are internally consistent.
+	for _, s := range append(balSum, rndSum...) {
+		if s.Min > s.Max || s.Mean < float64(s.Min) || s.Mean > float64(s.Max) {
+			t.Errorf("inconsistent summary %+v", s)
+		}
+	}
+}
+
+func TestLoadSummaryString(t *testing.T) {
+	s := LoadSummary{Kind: tree.ChanUp, Channels: 4, Min: 1, Max: 2, Mean: 1.5}
+	if s.String() == "" || s.Imbalance() != 2/1.5 {
+		t.Errorf("summary rendering broken: %q %v", s.String(), s.Imbalance())
+	}
+	if (LoadSummary{}).Imbalance() != 0 {
+		t.Error("zero-mean imbalance should be 0")
+	}
+}

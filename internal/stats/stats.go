@@ -1,0 +1,263 @@
+// Package stats provides the online statistics used by the simulator:
+// numerically stable running moments (Welford), histograms, and batch-means
+// confidence intervals for steady-state output analysis.
+//
+// The paper's methodology (§4) gathers statistics over 100,000 messages after
+// a 10,000-message warm-up; this package supplies the accumulators while the
+// simulator decides which observations fall inside the measurement window.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean, variance, min and max of a stream of
+// observations using Welford's algorithm. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Merge combines another accumulator into r (parallel Welford / Chan et al.).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n1, n2 := float64(r.n), float64(o.n)
+	delta := o.mean - r.mean
+	total := n1 + n2
+	r.mean += delta * n2 / total
+	r.m2 += o.m2 + delta*delta*n1*n2/total
+	r.n += o.n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or NaN with no observations.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation, or NaN with no observations.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// Summary is an immutable snapshot of a Running accumulator.
+type Summary struct {
+	Count    int64
+	Mean     float64
+	Variance float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize snapshots the accumulator.
+func (r *Running) Summarize() Summary {
+	return Summary{
+		Count:    r.n,
+		Mean:     r.Mean(),
+		Variance: r.Variance(),
+		Min:      r.Min(),
+		Max:      r.Max(),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g",
+		s.Count, s.Mean, math.Sqrt(s.Variance), s.Min, s.Max)
+}
+
+// Histogram counts observations in equal-width bins over [Lo, Hi); values
+// outside the range are tallied in the underflow/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int64
+	Underflow int64
+	Overflow  int64
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if the range or bin count is degenerate.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, bins)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Bins) { // guard against float rounding at the edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) from the
+// binned data, or NaN if the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	var cum float64
+	width := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, b := range h.Bins {
+		next := cum + float64(b)
+		if next >= target && b > 0 {
+			frac := (target - cum) / float64(b)
+			return h.Lo + width*(float64(i)+frac)
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// BatchMeans implements the batch-means method for estimating a confidence
+// interval of a steady-state mean from a correlated output series: the
+// observations are grouped into contiguous batches and the batch averages are
+// treated as approximately independent.
+type BatchMeans struct {
+	batchSize int64
+	current   Running
+	batches   []float64
+	all       Running
+}
+
+// NewBatchMeans groups observations into batches of the given size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: int64(batchSize)}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.all.Add(x)
+	b.current.Add(x)
+	if b.current.Count() == b.batchSize {
+		b.batches = append(b.batches, b.current.Mean())
+		b.current = Running{}
+	}
+}
+
+// Mean returns the grand sample mean over all observations.
+func (b *BatchMeans) Mean() float64 { return b.all.Mean() }
+
+// Batches returns the number of complete batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// HalfWidth returns the half-width of an approximate confidence interval for
+// the mean at the given z value (e.g. 1.96 for 95%), or NaN with fewer than
+// two complete batches.
+func (b *BatchMeans) HalfWidth(z float64) float64 {
+	k := len(b.batches)
+	if k < 2 {
+		return math.NaN()
+	}
+	var acc Running
+	for _, m := range b.batches {
+		acc.Add(m)
+	}
+	return z * acc.StdDev() / math.Sqrt(float64(k))
+}
+
+// Quantile returns the exact q-quantile of a sample (the sample is sorted in
+// place). It returns NaN for an empty sample or q outside [0, 1].
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sort.Float64s(sample)
+	if q == 1 {
+		return sample[len(sample)-1]
+	}
+	pos := q * float64(len(sample)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 < len(sample) {
+		return sample[i]*(1-frac) + sample[i+1]*frac
+	}
+	return sample[i]
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcnet/internal/rng"
+)
+
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, math.NaN()
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, ss / float64(len(xs)-1)
+}
+
+func TestRunningMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		wantMean, wantVar := naiveMeanVar(xs)
+		scale := math.Max(1, math.Abs(wantMean))
+		if math.Abs(r.Mean()-wantMean) > 1e-9*scale {
+			return false
+		}
+		vscale := math.Max(1, wantVar)
+		return math.Abs(r.Variance()-wantVar) <= 1e-6*vscale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) || !math.IsNaN(r.Min()) {
+		t.Error("empty accumulator should report NaN statistics")
+	}
+	r.Add(5)
+	if r.Mean() != 5 || r.Min() != 5 || r.Max() != 5 {
+		t.Errorf("single observation: mean=%v min=%v max=%v, want 5", r.Mean(), r.Min(), r.Max())
+	}
+	if !math.IsNaN(r.Variance()) {
+		t.Error("variance of one observation should be NaN")
+	}
+}
+
+func TestRunningMinMax(t *testing.T) {
+	var r Running
+	for _, x := range []float64{3, -1, 4, 1, 5, -9, 2, 6} {
+		r.Add(x)
+	}
+	if r.Min() != -9 || r.Max() != 6 {
+		t.Errorf("min=%v max=%v, want -9, 6", r.Min(), r.Max())
+	}
+}
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		src := rng.New(seed)
+		n := 200
+		cut := int(split) % n
+		var whole, left, right Running
+		for i := 0; i < n; i++ {
+			x := src.Float64()*100 - 50
+			whole.Add(x)
+			if i < cut {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		return left.Count() == whole.Count() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(left.Variance()-whole.Variance()) < 1e-7 &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(2)
+	before := a.Summarize()
+	a.Merge(b)
+	if a.Summarize() != before {
+		t.Error("merging an empty accumulator changed the receiver")
+	}
+	b.Merge(a)
+	if b.Summarize() != before {
+		t.Error("merging into an empty accumulator should copy the argument")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)  // underflow
+	h.Add(10)  // overflow (right-open)
+	h.Add(100) // overflow
+	for i, b := range h.Bins {
+		if b != 1 {
+			t.Errorf("bin %d = %d, want 1", i, b)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("underflow=%d overflow=%d, want 1, 2", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median of uniform 0..99 = %v, want ≈50", med)
+	}
+	if !math.IsNaN(NewHistogram(0, 1, 4).Quantile(0.5)) {
+		t.Error("quantile of empty histogram should be NaN")
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(1, 1, 4) did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestBatchMeansCoverage(t *testing.T) {
+	// For i.i.d. uniform observations the 95% CI should cover the true mean
+	// in most replications.
+	const reps = 200
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		src := rng.NewStream(99, uint64(rep))
+		bm := NewBatchMeans(50)
+		for i := 0; i < 2000; i++ {
+			bm.Add(src.Float64())
+		}
+		hw := bm.HalfWidth(1.96)
+		if math.IsNaN(hw) {
+			t.Fatalf("rep %d: HalfWidth is NaN with %d batches", rep, bm.Batches())
+		}
+		if math.Abs(bm.Mean()-0.5) <= hw {
+			covered++
+		}
+	}
+	// Expect ≈95% coverage; accept anything above 85% to keep the test robust.
+	if covered < int(0.85*reps) {
+		t.Errorf("CI covered true mean in %d/%d reps, want ≥ %d", covered, reps, int(0.85*reps))
+	}
+}
+
+func TestBatchMeansHalfWidthNeedsTwoBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		bm.Add(1)
+	}
+	if bm.Batches() != 1 {
+		t.Fatalf("Batches = %d, want 1", bm.Batches())
+	}
+	if !math.IsNaN(bm.HalfWidth(1.96)) {
+		t.Error("half-width with one batch should be NaN")
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Errorf("median = %v, want 5", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 9 {
+		t.Errorf("q1 = %v, want 9", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty sample should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("quantile with q>1 should be NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(3)
+	s := r.Summarize()
+	if s.Count != 2 || s.Mean != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import "math"
+
+// TimeWeighted accumulates the time-average of a piecewise-constant signal,
+// e.g. a queue length over simulated time. Call Update with each change
+// point; the mean weights every value by how long it was held.
+type TimeWeighted struct {
+	last     float64 // current value
+	lastTime float64
+	area     float64 // ∫ value dt
+	start    float64
+	started  bool
+	max      float64
+}
+
+// Update records that the signal changed to `value` at time `now`.
+func (t *TimeWeighted) Update(now, value float64) {
+	if !t.started {
+		t.started = true
+		t.start = now
+		t.max = value
+	} else {
+		t.area += t.last * (now - t.lastTime)
+	}
+	if value > t.max {
+		t.max = value
+	}
+	t.last = value
+	t.lastTime = now
+}
+
+// Mean returns the time-average of the signal over [start, now]; call with
+// the current time to include the final segment. NaN before any update.
+func (t *TimeWeighted) Mean(now float64) float64 {
+	if !t.started || now <= t.start {
+		return math.NaN()
+	}
+	return (t.area + t.last*(now-t.lastTime)) / (now - t.start)
+}
+
+// Max returns the largest value seen.
+func (t *TimeWeighted) Max() float64 {
+	if !t.started {
+		return math.NaN()
+	}
+	return t.max
+}
+
+// Current returns the present value of the signal.
+func (t *TimeWeighted) Current() float64 { return t.last }

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeWeightedPiecewiseConstant(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(0, 2) // 2 over [0,4)
+	tw.Update(4, 6) // 6 over [4,6)
+	tw.Update(6, 0) // 0 over [6,10]
+	want := (2*4.0 + 6*2.0 + 0*4.0) / 10.0
+	if got := tw.Mean(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean(10) = %v, want %v", got, want)
+	}
+	if tw.Max() != 6 {
+		t.Errorf("Max = %v, want 6", tw.Max())
+	}
+	if tw.Current() != 0 {
+		t.Errorf("Current = %v, want 0", tw.Current())
+	}
+}
+
+func TestTimeWeightedPartialFinalSegment(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(1, 10)
+	// Signal constant at 10 since t=1; at t=3 the mean is 10.
+	if got := tw.Mean(3); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Mean(3) = %v, want 10", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if !math.IsNaN(tw.Mean(1)) || !math.IsNaN(tw.Max()) {
+		t.Error("empty accumulator should report NaN")
+	}
+}
+
+func TestTimeWeightedZeroDuration(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(5, 3)
+	if !math.IsNaN(tw.Mean(5)) {
+		t.Error("zero observation window should report NaN")
+	}
+}
+
+func TestTimeWeightedNonMonotoneValueMax(t *testing.T) {
+	var tw TimeWeighted
+	for i, v := range []float64{1, 5, 2, 4, 0} {
+		tw.Update(float64(i), v)
+	}
+	if tw.Max() != 5 {
+		t.Errorf("Max = %v, want 5", tw.Max())
+	}
+}

@@ -1,0 +1,76 @@
+package system
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseOrganization parses the compact command-line syntax for system
+// organizations:
+//
+//	m=<ports>:<count>x<levels>[@<rate>][,<count>x<levels>[@<rate>]...]
+//
+// For example the paper's first Table 1 organization is
+//
+//	m=8:12x1,16x2,4x3
+//
+// and a rate-heterogeneous variant of the second could be
+//
+//	m=4:8x3@2,3x4,5x5
+//
+// The named shortcuts "org1" and "org2" resolve to the Table 1
+// organizations.
+func ParseOrganization(spec string) (Organization, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "org1", "table1-org1":
+		return Table1Org1(), nil
+	case "org2", "table1-org2":
+		return Table1Org2(), nil
+	}
+	org := Organization{Name: spec}
+	head, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return org, fmt.Errorf("system: spec %q: missing ':' after ports", spec)
+	}
+	head = strings.TrimSpace(head)
+	if !strings.HasPrefix(head, "m=") {
+		return org, fmt.Errorf("system: spec %q: expected m=<ports> prefix", spec)
+	}
+	ports, err := strconv.Atoi(strings.TrimPrefix(head, "m="))
+	if err != nil {
+		return org, fmt.Errorf("system: spec %q: bad ports: %v", spec, err)
+	}
+	org.Ports = ports
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var rate float64
+		if body, rateStr, ok := strings.Cut(part, "@"); ok {
+			rate, err = strconv.ParseFloat(rateStr, 64)
+			if err != nil {
+				return org, fmt.Errorf("system: spec %q: bad rate factor %q: %v", spec, rateStr, err)
+			}
+			part = body
+		}
+		countStr, levelsStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return org, fmt.Errorf("system: spec %q: group %q needs <count>x<levels>", spec, part)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil {
+			return org, fmt.Errorf("system: spec %q: bad count %q: %v", spec, countStr, err)
+		}
+		levels, err := strconv.Atoi(levelsStr)
+		if err != nil {
+			return org, fmt.Errorf("system: spec %q: bad levels %q: %v", spec, levelsStr, err)
+		}
+		org.Specs = append(org.Specs, ClusterSpec{Count: count, Levels: levels, RateFactor: rate})
+	}
+	if len(org.Specs) == 0 {
+		return org, fmt.Errorf("system: spec %q: no cluster groups", spec)
+	}
+	return org, nil
+}

@@ -1,0 +1,61 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseOrganizationShortcuts(t *testing.T) {
+	for spec, want := range map[string]Organization{
+		"org1":        Table1Org1(),
+		"ORG2":        Table1Org2(),
+		"table1-org1": Table1Org1(),
+	} {
+		got, err := ParseOrganization(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q parsed to %+v, want %+v", spec, got, want)
+		}
+	}
+}
+
+func TestParseOrganizationFull(t *testing.T) {
+	got, err := ParseOrganization("m=8:12x1,16x2,4x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ports != 8 {
+		t.Errorf("ports = %d", got.Ports)
+	}
+	want := []ClusterSpec{{Count: 12, Levels: 1}, {Count: 16, Levels: 2}, {Count: 4, Levels: 3}}
+	if !reflect.DeepEqual(got.Specs, want) {
+		t.Errorf("specs = %+v, want %+v", got.Specs, want)
+	}
+	// The parsed organization must materialize to the paper's N=1120.
+	if s := MustNew(got); s.TotalNodes() != 1120 {
+		t.Errorf("N = %d, want 1120", s.TotalNodes())
+	}
+}
+
+func TestParseOrganizationRateFactors(t *testing.T) {
+	got, err := ParseOrganization("m=4: 2x1@2.5 , 2x2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Specs[0].RateFactor != 2.5 || got.Specs[1].RateFactor != 0 {
+		t.Errorf("rate factors = %+v", got.Specs)
+	}
+}
+
+func TestParseOrganizationErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "m=8", "8:2x1", "m=x:2x1", "m=8:", "m=8:2y1", "m=8:ax1",
+		"m=8:2xb", "m=8:2x1@z",
+	} {
+		if _, err := ParseOrganization(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

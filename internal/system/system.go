@@ -1,0 +1,272 @@
+// Package system describes heterogeneous multi-cluster organizations: a set
+// of clusters of different sizes (the paper's heterogeneity category under
+// study), each equipped with an intra-communication network (ICN1) and an
+// inter-communication access network (ECN1) of identical m-port n_i-tree
+// shape, all joined by a global ICN2 tree through concentrator/dispatcher
+// devices.
+//
+// The package also ships the two concrete organizations of the paper's
+// Table 1, used by the validation experiments (Figures 3 and 4).
+package system
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mcnet/internal/tree"
+)
+
+// ClusterSpec describes a group of identically shaped clusters.
+type ClusterSpec struct {
+	// Count is the number of clusters with this shape.
+	Count int
+	// Levels is n_i: each cluster's ICN1/ECN1 is an m-port n_i-tree, so the
+	// cluster has 2(m/2)^n_i nodes.
+	Levels int
+	// RateFactor optionally scales the injection rate of nodes in these
+	// clusters relative to λ_g (0 means 1.0). This models per-cluster
+	// processing-power heterogeneity, an extension beyond the paper's
+	// assumption 3 (see DESIGN.md, Extension 2).
+	RateFactor float64
+}
+
+// Organization is the user-facing description of a multi-cluster system.
+type Organization struct {
+	Name  string
+	Ports int // m, common to every network in the system (paper §4)
+	Specs []ClusterSpec
+}
+
+// Cluster is one materialized cluster.
+type Cluster struct {
+	Index      int
+	Levels     int // n_i
+	Nodes      int // N_i = 2(m/2)^n_i
+	NodeBase   int // global id of this cluster's first node
+	RateFactor float64
+	// Shape is the m-port n_i-tree geometry shared by the cluster's ICN1
+	// and ECN1 (the simulator instantiates separate channel state for each).
+	Shape *tree.Tree
+}
+
+// System is a validated, materialized organization.
+type System struct {
+	Name     string
+	Ports    int
+	Clusters []Cluster
+	// ICN2 is the m-port n_c-tree joining the clusters; its "node" positions
+	// host the concentrators. When the cluster count C is not exactly
+	// 2(m/2)^n_c the smallest sufficient tree is used and only the first C
+	// positions are populated.
+	ICN2       *tree.Tree
+	totalNodes int
+}
+
+// ErrBadOrganization reports an organization that cannot be materialized.
+var ErrBadOrganization = errors.New("system: invalid organization")
+
+// New validates and materializes an organization.
+func New(org Organization) (*System, error) {
+	if org.Ports < 2 || org.Ports%2 != 0 {
+		return nil, fmt.Errorf("%w: ports m=%d must be even and ≥ 2", ErrBadOrganization, org.Ports)
+	}
+	if len(org.Specs) == 0 {
+		return nil, fmt.Errorf("%w: no cluster specs", ErrBadOrganization)
+	}
+	s := &System{Name: org.Name, Ports: org.Ports}
+	shapes := make(map[int]*tree.Tree)
+	for _, spec := range org.Specs {
+		if spec.Count <= 0 {
+			return nil, fmt.Errorf("%w: spec count %d", ErrBadOrganization, spec.Count)
+		}
+		if spec.RateFactor < 0 {
+			return nil, fmt.Errorf("%w: negative rate factor %v", ErrBadOrganization, spec.RateFactor)
+		}
+		shape := shapes[spec.Levels]
+		if shape == nil {
+			var err error
+			shape, err = tree.New(org.Ports, spec.Levels)
+			if err != nil {
+				return nil, fmt.Errorf("%w: cluster shape: %v", ErrBadOrganization, err)
+			}
+			shapes[spec.Levels] = shape
+		}
+		rate := spec.RateFactor
+		if rate == 0 {
+			rate = 1
+		}
+		for i := 0; i < spec.Count; i++ {
+			s.Clusters = append(s.Clusters, Cluster{
+				Index:      len(s.Clusters),
+				Levels:     spec.Levels,
+				Nodes:      shape.Nodes(),
+				NodeBase:   s.totalNodes,
+				RateFactor: rate,
+				Shape:      shape,
+			})
+			s.totalNodes += shape.Nodes()
+		}
+	}
+	c := len(s.Clusters)
+	if c < 2 {
+		return nil, fmt.Errorf("%w: a multi-cluster system needs ≥ 2 clusters, got %d", ErrBadOrganization, c)
+	}
+	// Smallest n_c with 2(m/2)^n_c ≥ C; exact for the paper's organizations.
+	k := org.Ports / 2
+	levels, capacity := 1, 2*k
+	for capacity < c {
+		if k == 1 {
+			return nil, fmt.Errorf("%w: m=2 ICN2 cannot host %d clusters", ErrBadOrganization, c)
+		}
+		levels++
+		capacity *= k
+	}
+	icn2, err := tree.New(org.Ports, levels)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ICN2: %v", ErrBadOrganization, err)
+	}
+	s.ICN2 = icn2
+	return s, nil
+}
+
+// MustNew is New for statically known-good organizations; it panics on error.
+func MustNew(org Organization) *System {
+	s, err := New(org)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// C returns the number of clusters.
+func (s *System) C() int { return len(s.Clusters) }
+
+// TotalNodes returns N, the number of nodes across all clusters.
+func (s *System) TotalNodes() int { return s.totalNodes }
+
+// ICN2Exact reports whether the cluster count exactly fills the ICN2 tree
+// (C == 2(m/2)^n_c), as in both of the paper's Table 1 organizations.
+func (s *System) ICN2Exact() bool { return s.ICN2.Nodes() == s.C() }
+
+// POut returns P_o(i) of Eq. 13: the probability that a message generated in
+// cluster i leaves the cluster, which under uniform destinations is the
+// fraction of the other nodes that live elsewhere.
+func (s *System) POut(i int) float64 {
+	return float64(s.totalNodes-s.Clusters[i].Nodes) / float64(s.totalNodes-1)
+}
+
+// ClusterOf maps a global node id to (cluster index, node id local to the
+// cluster's trees).
+func (s *System) ClusterOf(global int) (ci, local int) {
+	// Clusters are few (tens); linear scan with early exit is simplest and
+	// cache-friendly. Binary search is not worth it at these sizes.
+	for i := range s.Clusters {
+		c := &s.Clusters[i]
+		if global < c.NodeBase+c.Nodes {
+			return i, global - c.NodeBase
+		}
+	}
+	panic(fmt.Sprintf("system: node %d out of range [0,%d)", global, s.totalNodes))
+}
+
+// GlobalNode maps (cluster index, local node id) to the global node id.
+func (s *System) GlobalNode(ci, local int) int {
+	return s.Clusters[ci].NodeBase + local
+}
+
+// ICN2ProbH returns the distribution of the ICN2 NCA level h over ordered
+// cluster pairs (i, v), i ≠ v, with both clusters uniform: index h of the
+// result holds P(NCA level == h). For exactly filled ICN2 trees this equals
+// the tree's Eq. 4 distribution; for partially populated trees it is the
+// exact enumeration over the occupied positions.
+func (s *System) ICN2ProbH() []float64 {
+	c := s.C()
+	counts := make([]float64, s.ICN2.Levels()+1)
+	for i := 0; i < c; i++ {
+		for v := 0; v < c; v++ {
+			if i == v {
+				continue
+			}
+			counts[s.ICN2.NCALevel(i, v)]++
+		}
+	}
+	total := float64(c * (c - 1))
+	for h := range counts {
+		counts[h] /= total
+	}
+	return counts
+}
+
+// MeanRateFactor returns the node-weighted mean injection-rate factor; 1.0
+// for homogeneous-rate systems.
+func (s *System) MeanRateFactor() float64 {
+	var sum float64
+	for i := range s.Clusters {
+		sum += s.Clusters[i].RateFactor * float64(s.Clusters[i].Nodes)
+	}
+	return sum / float64(s.totalNodes)
+}
+
+// Table1Org1 returns the first organization of the paper's Table 1:
+// N=1120 nodes, C=32 clusters, m=8 ports; 12 clusters with n_i=1,
+// 16 with n_i=2 and 4 with n_i=3.
+func Table1Org1() Organization {
+	return Organization{
+		Name:  "Table1-Org1 (N=1120, C=32, m=8)",
+		Ports: 8,
+		Specs: []ClusterSpec{
+			{Count: 12, Levels: 1},
+			{Count: 16, Levels: 2},
+			{Count: 4, Levels: 3},
+		},
+	}
+}
+
+// Table1Org2 returns the second organization of the paper's Table 1:
+// N=544 nodes, C=16 clusters, m=4 ports; 8 clusters with n_i=3, 3 with
+// n_i=4 and 5 with n_i=5.
+func Table1Org2() Organization {
+	return Organization{
+		Name:  "Table1-Org2 (N=544, C=16, m=4)",
+		Ports: 4,
+		Specs: []ClusterSpec{
+			{Count: 8, Levels: 3},
+			{Count: 3, Levels: 4},
+			{Count: 5, Levels: 5},
+		},
+	}
+}
+
+// Uniform returns an organization of `count` identical clusters, the
+// homogeneous baseline used by the heterogeneity-study example.
+func Uniform(name string, ports, count, levels int) Organization {
+	return Organization{
+		Name:  name,
+		Ports: ports,
+		Specs: []ClusterSpec{{Count: count, Levels: levels}},
+	}
+}
+
+// Summary renders the organization in the style of the paper's Table 1.
+func (s *System) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "  N=%d  C=%d  m=%d  ICN2=%v (n_c=%d, %s populated)\n",
+		s.totalNodes, s.C(), s.Ports, s.ICN2, s.ICN2.Levels(),
+		map[bool]string{true: "fully", false: "partially"}[s.ICN2Exact()])
+	type group struct{ levels, count, nodes int }
+	var groups []group
+	for _, c := range s.Clusters {
+		if len(groups) > 0 && groups[len(groups)-1].levels == c.Levels {
+			groups[len(groups)-1].count++
+			continue
+		}
+		groups = append(groups, group{levels: c.Levels, count: 1, nodes: c.Nodes})
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&b, "  %2d clusters × (n_i=%d, N_i=%d, N_sw=%d)\n",
+			g.count, g.levels, g.nodes, tree.SwitchCountFormula(s.Ports, g.levels))
+	}
+	return b.String()
+}

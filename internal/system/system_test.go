@@ -1,0 +1,211 @@
+package system
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Org1MatchesPaper(t *testing.T) {
+	s := MustNew(Table1Org1())
+	if s.TotalNodes() != 1120 {
+		t.Errorf("N = %d, want 1120", s.TotalNodes())
+	}
+	if s.C() != 32 {
+		t.Errorf("C = %d, want 32", s.C())
+	}
+	if s.Ports != 8 {
+		t.Errorf("m = %d, want 8", s.Ports)
+	}
+	if s.ICN2.Levels() != 2 {
+		t.Errorf("n_c = %d, want 2 (2·4² = 32)", s.ICN2.Levels())
+	}
+	if !s.ICN2Exact() {
+		t.Error("org 1 should exactly fill its ICN2 tree")
+	}
+	// Per-spec node counts: n_i ∈ {1,2,3} → N_i ∈ {8,32,128}.
+	wantNodes := map[int]int{1: 8, 2: 32, 3: 128}
+	for _, c := range s.Clusters {
+		if c.Nodes != wantNodes[c.Levels] {
+			t.Errorf("cluster %d (n_i=%d): N_i = %d, want %d", c.Index, c.Levels, c.Nodes, wantNodes[c.Levels])
+		}
+	}
+}
+
+func TestTable1Org2MatchesPaper(t *testing.T) {
+	s := MustNew(Table1Org2())
+	if s.TotalNodes() != 544 {
+		t.Errorf("N = %d, want 544", s.TotalNodes())
+	}
+	if s.C() != 16 {
+		t.Errorf("C = %d, want 16", s.C())
+	}
+	if s.Ports != 4 {
+		t.Errorf("m = %d, want 4", s.Ports)
+	}
+	if s.ICN2.Levels() != 3 {
+		t.Errorf("n_c = %d, want 3 (2·2³ = 16)", s.ICN2.Levels())
+	}
+	if !s.ICN2Exact() {
+		t.Error("org 2 should exactly fill its ICN2 tree")
+	}
+	wantNodes := map[int]int{3: 16, 4: 32, 5: 64}
+	for _, c := range s.Clusters {
+		if c.Nodes != wantNodes[c.Levels] {
+			t.Errorf("cluster %d (n_i=%d): N_i = %d, want %d", c.Index, c.Levels, c.Nodes, wantNodes[c.Levels])
+		}
+	}
+}
+
+func TestPOutEquation13(t *testing.T) {
+	s := MustNew(Table1Org1())
+	for i, c := range s.Clusters {
+		want := float64(1120-c.Nodes) / float64(1119)
+		if got := s.POut(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("POut(%d) = %v, want %v", i, got, want)
+		}
+		if got := s.POut(i); got <= 0 || got >= 1 {
+			t.Errorf("POut(%d) = %v outside (0,1)", i, got)
+		}
+	}
+	// Smaller clusters send a larger fraction of traffic outside.
+	small, large := -1, -1
+	for i, c := range s.Clusters {
+		if c.Nodes == 8 && small < 0 {
+			small = i
+		}
+		if c.Nodes == 128 && large < 0 {
+			large = i
+		}
+	}
+	if !(s.POut(small) > s.POut(large)) {
+		t.Errorf("POut should decrease with cluster size: small=%v large=%v", s.POut(small), s.POut(large))
+	}
+}
+
+func TestNodeMappingRoundTrip(t *testing.T) {
+	for _, org := range []Organization{Table1Org1(), Table1Org2()} {
+		s := MustNew(org)
+		for g := 0; g < s.TotalNodes(); g++ {
+			ci, local := s.ClusterOf(g)
+			if local < 0 || local >= s.Clusters[ci].Nodes {
+				t.Fatalf("%s: node %d mapped to out-of-range local %d in cluster %d", org.Name, g, local, ci)
+			}
+			if back := s.GlobalNode(ci, local); back != g {
+				t.Fatalf("%s: roundtrip %d → (%d,%d) → %d", org.Name, g, ci, local, back)
+			}
+		}
+	}
+}
+
+func TestClusterOfPanicsOutOfRange(t *testing.T) {
+	s := MustNew(Table1Org2())
+	defer func() {
+		if recover() == nil {
+			t.Error("ClusterOf(N) did not panic")
+		}
+	}()
+	s.ClusterOf(s.TotalNodes())
+}
+
+func TestICN2ProbHExactOrgsMatchEq4(t *testing.T) {
+	for _, org := range []Organization{Table1Org1(), Table1Org2()} {
+		s := MustNew(org)
+		got := s.ICN2ProbH()
+		want := s.ICN2.ProbJ()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", org.Name, len(got), len(want))
+		}
+		for h := range got {
+			if math.Abs(got[h]-want[h]) > 1e-12 {
+				t.Errorf("%s: P(h=%d) = %v, Eq. 4 gives %v", org.Name, h, got[h], want[h])
+			}
+		}
+	}
+}
+
+func TestICN2ProbHPartiallyPopulated(t *testing.T) {
+	// 5 clusters on an m=4 ICN2 require n_c=2 (capacity 8), partially filled.
+	s := MustNew(Organization{
+		Name:  "partial",
+		Ports: 4,
+		Specs: []ClusterSpec{{Count: 5, Levels: 1}},
+	})
+	if s.ICN2Exact() {
+		t.Fatal("5 clusters should not exactly fill an m=4 ICN2")
+	}
+	p := s.ICN2ProbH()
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("ΣP(h) = %v, want 1", sum)
+	}
+	if p[0] != 0 {
+		t.Errorf("P(h=0) = %v, want 0", p[0])
+	}
+}
+
+func TestRateFactors(t *testing.T) {
+	s := MustNew(Organization{
+		Name:  "hetero-rate",
+		Ports: 4,
+		Specs: []ClusterSpec{
+			{Count: 2, Levels: 1, RateFactor: 2},
+			{Count: 2, Levels: 1}, // defaults to 1
+		},
+	})
+	if s.Clusters[0].RateFactor != 2 || s.Clusters[3].RateFactor != 1 {
+		t.Errorf("rate factors = %v, %v; want 2, 1", s.Clusters[0].RateFactor, s.Clusters[3].RateFactor)
+	}
+	if got := s.MeanRateFactor(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("MeanRateFactor = %v, want 1.5", got)
+	}
+}
+
+func TestNewRejectsBadOrganizations(t *testing.T) {
+	bad := []Organization{
+		{Name: "odd ports", Ports: 5, Specs: []ClusterSpec{{Count: 2, Levels: 1}}},
+		{Name: "no specs", Ports: 4},
+		{Name: "zero count", Ports: 4, Specs: []ClusterSpec{{Count: 0, Levels: 1}}},
+		{Name: "bad levels", Ports: 4, Specs: []ClusterSpec{{Count: 2, Levels: 0}}},
+		{Name: "single cluster", Ports: 4, Specs: []ClusterSpec{{Count: 1, Levels: 1}}},
+		{Name: "negative rate", Ports: 4, Specs: []ClusterSpec{{Count: 2, Levels: 1, RateFactor: -1}}},
+	}
+	for _, org := range bad {
+		if _, err := New(org); err == nil {
+			t.Errorf("%s: accepted", org.Name)
+		}
+	}
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew of invalid org did not panic")
+		}
+	}()
+	MustNew(Organization{Ports: 3})
+}
+
+func TestUniformOrganization(t *testing.T) {
+	s := MustNew(Uniform("u", 4, 8, 2))
+	if s.C() != 8 || s.TotalNodes() != 8*8 {
+		t.Errorf("uniform org: C=%d N=%d, want 8, 64", s.C(), s.TotalNodes())
+	}
+	for i := range s.Clusters {
+		if s.POut(i) != s.POut(0) {
+			t.Error("uniform org should have identical POut everywhere")
+		}
+	}
+}
+
+func TestSummaryMentionsKeyNumbers(t *testing.T) {
+	sum := MustNew(Table1Org1()).Summary()
+	for _, frag := range []string{"N=1120", "C=32", "m=8", "12 clusters", "16 clusters", "4 clusters", "n_c=2"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("Summary missing %q:\n%s", frag, sum)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package traffic supplies destination-selection patterns for the simulator.
+//
+// The paper's validation uses the uniform pattern (assumption 2: "the
+// destination of each request would be any node in the system with uniform
+// distribution"). The non-uniform patterns (hotspot and cluster-local
+// locality) implement the paper's stated future work ("extend the model to
+// cover … non-uniform traffic pattern as well") on the simulation side, so
+// the model's breakdown under non-uniform traffic can be quantified.
+package traffic
+
+import (
+	"fmt"
+
+	"mcnet/internal/rng"
+	"mcnet/internal/system"
+)
+
+// Pattern selects a destination for a message generated at a source node.
+// Implementations must never return the source itself.
+type Pattern interface {
+	// Dest returns the destination global node id for a message from src.
+	Dest(src int, r *rng.Source) int
+	// Name identifies the pattern in experiment output.
+	Name() string
+}
+
+// Uniform selects uniformly among all nodes except the source.
+type Uniform struct {
+	N int // total nodes
+}
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, r *rng.Source) int {
+	d := r.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Hotspot sends a fraction of the traffic to one hot node and the rest
+// uniformly, the classic hotspot benchmark.
+type Hotspot struct {
+	N        int
+	Hot      int     // hot node id
+	Fraction float64 // probability of addressing the hot node
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, r *rng.Source) int {
+	if src != h.Hot && r.Float64() < h.Fraction {
+		return h.Hot
+	}
+	return Uniform{N: h.N}.Dest(src, r)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string {
+	return fmt.Sprintf("hotspot(%d,%.2f)", h.Hot, h.Fraction)
+}
+
+// ClusterLocal keeps a configurable fraction of the traffic inside the
+// source's cluster, breaking the paper's uniform-destination assumption in
+// the way real workloads do (computation is usually placed for locality).
+type ClusterLocal struct {
+	Sys *system.System
+	// PLocal is the probability that a message stays in the source cluster.
+	// The remainder goes to a uniformly random node of another cluster.
+	// Clusters with a single node send everything outside.
+	PLocal float64
+}
+
+// Dest implements Pattern.
+func (c ClusterLocal) Dest(src int, r *rng.Source) int {
+	ci, local := c.Sys.ClusterOf(src)
+	cl := &c.Sys.Clusters[ci]
+	if cl.Nodes > 1 && r.Float64() < c.PLocal {
+		d := r.Intn(cl.Nodes - 1)
+		if d >= local {
+			d++
+		}
+		return c.Sys.GlobalNode(ci, d)
+	}
+	// Uniform over the nodes of all other clusters.
+	outside := c.Sys.TotalNodes() - cl.Nodes
+	d := r.Intn(outside)
+	if g := c.Sys.GlobalNode(ci, 0); d >= g {
+		// Skip over this cluster's node-id range.
+		d += cl.Nodes
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (c ClusterLocal) Name() string {
+	return fmt.Sprintf("cluster-local(%.2f)", c.PLocal)
+}

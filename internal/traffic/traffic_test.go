@@ -1,0 +1,129 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/rng"
+	"mcnet/internal/system"
+)
+
+func TestUniformNeverSelf(t *testing.T) {
+	u := Uniform{N: 16}
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		src := i % 16
+		if d := u.Dest(src, r); d == src || d < 0 || d >= 16 {
+			t.Fatalf("Dest(%d) = %d", src, d)
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	u := Uniform{N: 8}
+	r := rng.New(2)
+	counts := make([]int, 8)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		counts[u.Dest(3, r)]++
+	}
+	if counts[3] != 0 {
+		t.Fatal("source selected as destination")
+	}
+	expect := float64(n) / 7
+	for d, c := range counts {
+		if d == 3 {
+			continue
+		}
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("dest %d: count %d deviates from %v", d, c, expect)
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h := Hotspot{N: 64, Hot: 5, Fraction: 0.3}
+	r := rng.New(3)
+	const n = 100000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if d := h.Dest(0, r); d == 5 {
+			hot++
+		}
+	}
+	// P(hot) = 0.3 + 0.7/63.
+	want := 0.3 + 0.7/63
+	got := float64(hot) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("hot fraction = %v, want ≈%v", got, want)
+	}
+}
+
+func TestHotspotFromHotNodeNeverSelf(t *testing.T) {
+	h := Hotspot{N: 16, Hot: 5, Fraction: 0.9}
+	r := rng.New(4)
+	for i := 0; i < 10000; i++ {
+		if d := h.Dest(5, r); d == 5 {
+			t.Fatal("hot node sent to itself")
+		}
+	}
+}
+
+func TestClusterLocalFraction(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	p := ClusterLocal{Sys: sys, PLocal: 0.8}
+	r := rng.New(5)
+	const n = 50000
+	src := sys.GlobalNode(2, 3)
+	local := 0
+	for i := 0; i < n; i++ {
+		d := p.Dest(src, r)
+		if d == src {
+			t.Fatal("self destination")
+		}
+		ci, _ := sys.ClusterOf(d)
+		if ci == 2 {
+			local++
+		}
+	}
+	got := float64(local) / n
+	if math.Abs(got-0.8) > 0.01 {
+		t.Errorf("local fraction = %v, want ≈0.8", got)
+	}
+}
+
+func TestClusterLocalOutsideDestinationsValid(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	p := ClusterLocal{Sys: sys, PLocal: 0} // everything goes outside
+	r := rng.New(6)
+	counts := make([]int, sys.C())
+	for ci := 0; ci < sys.C(); ci++ {
+		src := sys.GlobalNode(ci, 0)
+		for i := 0; i < 2000; i++ {
+			d := p.Dest(src, r)
+			di, _ := sys.ClusterOf(d)
+			if di == ci {
+				t.Fatalf("PLocal=0 produced intra-cluster destination %d from cluster %d", d, ci)
+			}
+			counts[di]++
+		}
+	}
+	for ci, c := range counts {
+		if c == 0 {
+			t.Errorf("cluster %d never chosen as destination", ci)
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	for _, p := range []Pattern{
+		Uniform{N: 4},
+		Hotspot{N: 4, Hot: 1, Fraction: 0.5},
+		ClusterLocal{Sys: sys, PLocal: 0.5},
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tree
+
+import "fmt"
+
+// ChannelKind classifies a directed channel.
+type ChannelKind int
+
+const (
+	// ChanNodeUp is a node→leaf-switch injection link.
+	ChanNodeUp ChannelKind = iota
+	// ChanNodeDown is a leaf-switch→node ejection link.
+	ChanNodeDown
+	// ChanUp is an ascending switch→switch link.
+	ChanUp
+	// ChanDown is a descending switch→switch link.
+	ChanDown
+)
+
+// String names the channel kind.
+func (k ChannelKind) String() string {
+	switch k {
+	case ChanNodeUp:
+		return "node-up"
+	case ChanNodeDown:
+		return "node-down"
+	case ChanUp:
+		return "up"
+	case ChanDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// ChannelInfo describes a decoded channel identifier.
+type ChannelInfo struct {
+	Kind ChannelKind
+	// Node is the processing node for node↔switch channels (else -1).
+	Node int
+	// Lower is the lower-level switch of the link: the leaf switch for
+	// node↔switch channels, or the child switch for switch↔switch channels.
+	Lower Switch
+	// Upper is the parent switch for switch↔switch channels.
+	Upper Switch
+	// Port is the node's leaf-switch down-port for node channels, or the
+	// child's up-port for switch↔switch channels.
+	Port int
+}
+
+// Channel decodes a dense channel identifier. It panics on out-of-range ids.
+func (t *Tree) Channel(c int) ChannelInfo {
+	switch {
+	case c < 0 || c >= t.Channels():
+		panic(fmt.Sprintf("tree: channel id %d out of range [0,%d)", c, t.Channels()))
+	case c < t.nodes:
+		leaf, port := t.LeafOf(c)
+		return ChannelInfo{Kind: ChanNodeUp, Node: c, Lower: leaf, Port: port}
+	case c < 2*t.nodes:
+		node := c - t.nodes
+		leaf, port := t.LeafOf(node)
+		return ChannelInfo{Kind: ChanNodeDown, Node: node, Lower: leaf, Port: port}
+	}
+	rem := c - 2*t.nodes
+	kind := ChanUp
+	if rem >= (t.levels-1)*t.nodes {
+		kind = ChanDown
+		rem -= (t.levels - 1) * t.nodes
+	}
+	l := rem/t.nodes + 1
+	within := rem % t.nodes
+	idx := within / t.k
+	q := within % t.k
+	lower := Switch{Level: l, Suffix: idx / t.kPow[l-1], Y: idx % t.kPow[l-1]}
+	upper, _ := t.Parent(lower, q)
+	return ChannelInfo{Kind: kind, Node: -1, Lower: lower, Upper: upper, Port: q}
+}

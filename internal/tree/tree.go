@@ -1,0 +1,430 @@
+// Package tree implements the m-port n-tree topology used by every network
+// in the paper (ICN1, ECN1 and ICN2): a fat tree built from fixed-arity
+// m-port switches, with
+//
+//	N    = 2·(m/2)^n          processing nodes        (Eq. 1)
+//	N_sw = (2n−1)·(m/2)^(n−1)  switches                (Eq. 2)
+//
+// We realize the m-port n-tree as the extended generalized fat tree
+// XGFT(n; k,…,k,2k; k,…,k) with k = m/2: switches at levels 1..n−1 have k
+// children and k parents (m ports total); the n root switches have 2k = m
+// children and no parents. This construction reproduces the node and switch
+// counts above, has full bisection bandwidth, and gives the nearest-common-
+// ancestor (NCA) level distribution of Eq. 4 under uniform traffic.
+//
+// # Labeling
+//
+// A node is a mixed-radix number x = x_1 + c_1·(x_2 + c_2·(…)) with digit
+// radices c_1..c_n = k,…,k,2k. A level-l switch is a pair (suffix, y):
+// `suffix` encodes the node digits x_{l+1}..x_n it has in common with every
+// node below it, and y = (y_1..y_{l−1}) records which parent was chosen at
+// each level on the way up. All adjacency is arithmetic on these labels — no
+// adjacency lists are stored, so a Tree costs O(n) memory regardless of size.
+//
+// # Channels
+//
+// Every directed link has a dense channel index in [0, 2nN):
+//
+//	[0, N)                     node→switch injection links
+//	[N, 2N)                    switch→node ejection links
+//	[2N, 2N+(n−1)N)            ascending switch→switch links, by level
+//	[2N+(n−1)N, 2nN)           descending switch→switch links, by level
+//
+// The simulator maps these dense indices onto its global channel table.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tree describes one m-port n-tree. Create instances with New.
+type Tree struct {
+	ports  int // m
+	levels int // n
+	k      int // m/2
+	nodes  int // 2k^n
+
+	kPow       []int // k^i for i in [0, levels]
+	suffixSize []int // suffixSize[l] = Π_{j=l+1..n} c_j  (l in [0, levels])
+	levelSize  []int // switches at level l (index 1..levels)
+	levelOff   []int // flat switch-id offset of level l
+	switches   int
+}
+
+// Switch identifies a switch by level (1-based, 1 = leaf level, n = root
+// level), suffix index and y index. See the package comment for the meaning
+// of the components.
+type Switch struct {
+	Level  int
+	Suffix int
+	Y      int
+}
+
+// ErrBadShape reports an unconstructible tree shape.
+var ErrBadShape = errors.New("tree: invalid m-port n-tree shape")
+
+// New constructs an m-port n-tree. ports must be an even number ≥ 2 and
+// levels ≥ 1. Sizes that would overflow int are rejected.
+func New(ports, levels int) (*Tree, error) {
+	if ports < 2 || ports%2 != 0 {
+		return nil, fmt.Errorf("%w: ports m=%d must be even and ≥ 2", ErrBadShape, ports)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("%w: levels n=%d must be ≥ 1", ErrBadShape, levels)
+	}
+	k := ports / 2
+	t := &Tree{ports: ports, levels: levels, k: k}
+
+	t.kPow = make([]int, levels+1)
+	t.kPow[0] = 1
+	for i := 1; i <= levels; i++ {
+		if t.kPow[i-1] > (1<<40)/maxInt(k, 1) {
+			return nil, fmt.Errorf("%w: m=%d n=%d is too large", ErrBadShape, ports, levels)
+		}
+		t.kPow[i] = t.kPow[i-1] * k
+	}
+	t.nodes = 2 * t.kPow[levels]
+
+	// suffixSize[l] counts the distinct digit suffixes x_{l+1}..x_n, i.e.
+	// Π c_j for j > l, where c_j = k except c_n = 2k.
+	t.suffixSize = make([]int, levels+1)
+	t.suffixSize[levels] = 1
+	for l := levels - 1; l >= 0; l-- {
+		t.suffixSize[l] = t.suffixSize[l+1] * t.radix(l+1)
+	}
+
+	t.levelSize = make([]int, levels+1)
+	t.levelOff = make([]int, levels+1)
+	off := 0
+	for l := 1; l <= levels; l++ {
+		t.levelSize[l] = t.suffixSize[l] * t.kPow[l-1]
+		t.levelOff[l] = off
+		off += t.levelSize[l]
+	}
+	t.switches = off
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// radix returns c_l, the number of children of a level-l switch.
+func (t *Tree) radix(l int) int {
+	if l == t.levels {
+		return 2 * t.k
+	}
+	return t.k
+}
+
+// Ports returns m. Levels returns n. K returns m/2.
+func (t *Tree) Ports() int  { return t.ports }
+func (t *Tree) Levels() int { return t.levels }
+func (t *Tree) K() int      { return t.k }
+
+// Nodes returns the number of processing-node positions, N = 2(m/2)^n.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Switches returns the total switch count, (2n−1)(m/2)^(n−1).
+func (t *Tree) Switches() int { return t.switches }
+
+// LevelSize returns the number of switches at level l (1-based).
+func (t *Tree) LevelSize(l int) int { return t.levelSize[l] }
+
+// Roots returns the number of root-level switches, (m/2)^(n−1).
+func (t *Tree) Roots() int { return t.levelSize[t.levels] }
+
+// Root returns the i-th root switch.
+func (t *Tree) Root(i int) Switch { return Switch{Level: t.levels, Suffix: 0, Y: i} }
+
+// Channels returns the number of directed channels, 2nN.
+func (t *Tree) Channels() int { return 2 * t.levels * t.nodes }
+
+// NodeCountFormula evaluates Eq. 1 without building a tree.
+func NodeCountFormula(ports, levels int) int {
+	n := 2
+	for i := 0; i < levels; i++ {
+		n *= ports / 2
+	}
+	return n
+}
+
+// SwitchCountFormula evaluates Eq. 2 without building a tree.
+func SwitchCountFormula(ports, levels int) int {
+	n := 2*levels - 1
+	for i := 0; i < levels-1; i++ {
+		n *= ports / 2
+	}
+	return n
+}
+
+// NodeDigit returns digit x_i (1-based) of the node label.
+func (t *Tree) NodeDigit(node, i int) int {
+	d := node
+	for j := 1; j < i; j++ {
+		d /= t.radix(j)
+	}
+	return d % t.radix(i)
+}
+
+// NCALevel returns the level of the nearest common ancestor of nodes a and
+// b: the smallest j such that a and b agree on all digits above j. It
+// returns 0 when a == b. A message between a and b crosses 2·NCALevel links.
+func (t *Tree) NCALevel(a, b int) int {
+	if a == b {
+		return 0
+	}
+	level := 0
+	for i := 1; i <= t.levels; i++ {
+		if a%t.radix(i) != b%t.radix(i) {
+			level = i
+		}
+		a /= t.radix(i)
+		b /= t.radix(i)
+		if a == b && i >= level {
+			break
+		}
+	}
+	// The loop above found the highest differing digit directly:
+	return level
+}
+
+// SwitchIndex returns the within-level dense index of sw.
+func (t *Tree) SwitchIndex(sw Switch) int {
+	return sw.Suffix*t.kPow[sw.Level-1] + sw.Y
+}
+
+// SwitchID returns the flat switch identifier in [0, Switches()).
+func (t *Tree) SwitchID(sw Switch) int {
+	return t.levelOff[sw.Level] + t.SwitchIndex(sw)
+}
+
+// SwitchAt inverts SwitchID.
+func (t *Tree) SwitchAt(id int) Switch {
+	l := 1
+	for l < t.levels && id >= t.levelOff[l+1] {
+		l++
+	}
+	idx := id - t.levelOff[l]
+	return Switch{Level: l, Suffix: idx / t.kPow[l-1], Y: idx % t.kPow[l-1]}
+}
+
+// LeafOf returns the level-1 switch a node attaches to, and the switch's
+// down-port occupied by the node. (For a 1-level tree the leaf radix is 2k,
+// hence the use of radix(1) rather than k.)
+func (t *Tree) LeafOf(node int) (Switch, int) {
+	r := t.radix(1)
+	return Switch{Level: 1, Suffix: node / r, Y: 0}, node % r
+}
+
+// ChildNode returns the node on down-port p of a leaf (level-1) switch.
+func (t *Tree) ChildNode(sw Switch, p int) int {
+	return sw.Suffix*t.radix(1) + p
+}
+
+// Parent returns the parent reached through up-port q of sw, together with
+// the parent's down-port that the link occupies. Only valid for
+// sw.Level < n and 0 ≤ q < k.
+func (t *Tree) Parent(sw Switch, q int) (parent Switch, downPort int) {
+	l := sw.Level
+	r := t.radix(l + 1)
+	parent = Switch{
+		Level:  l + 1,
+		Suffix: sw.Suffix / r,
+		Y:      sw.Y + q*t.kPow[l-1],
+	}
+	return parent, sw.Suffix % r
+}
+
+// ChildSwitch returns the level-(l−1) switch on down-port p of sw (valid for
+// sw.Level ≥ 2), together with the child's up-port that the link occupies.
+func (t *Tree) ChildSwitch(sw Switch, p int) (child Switch, childUpPort int) {
+	l := sw.Level
+	child = Switch{
+		Level:  l - 1,
+		Suffix: p + t.radix(l)*sw.Suffix,
+		Y:      sw.Y % t.kPow[l-2],
+	}
+	return child, sw.Y / t.kPow[l-2]
+}
+
+// Channel identifiers. The dense layout is documented in the package comment.
+
+// NodeUpChannel returns the channel node→leaf-switch of the given node.
+func (t *Tree) NodeUpChannel(node int) int { return node }
+
+// NodeDownChannel returns the channel leaf-switch→node of the given node.
+func (t *Tree) NodeDownChannel(node int) int { return t.nodes + node }
+
+// UpChannel returns the ascending channel from level-l switch sw through
+// up-port q (valid for sw.Level < n).
+func (t *Tree) UpChannel(sw Switch, q int) int {
+	return 2*t.nodes + (sw.Level-1)*t.nodes + t.SwitchIndex(sw)*t.k + q
+}
+
+// DownChannel returns the descending channel of the same physical link as
+// UpChannel(sw, q): from the parent into level-l switch sw through the
+// switch's up-port q.
+func (t *Tree) DownChannel(sw Switch, q int) int {
+	return 2*t.nodes + (t.levels-1)*t.nodes + (sw.Level-1)*t.nodes + t.SwitchIndex(sw)*t.k + q
+}
+
+// IsNodeChannel reports whether channel id c is a node↔switch link (these
+// use the t_cn service time; switch↔switch links use t_cs).
+func (t *Tree) IsNodeChannel(c int) bool { return c < 2*t.nodes }
+
+// ProbJ returns the paper's Eq. 4: index j of the returned slice (1 ≤ j ≤ n)
+// holds the probability that a message from a fixed source to a uniformly
+// random other node has its NCA at level j (i.e. crosses 2j links). Index 0
+// is unused and zero.
+func (t *Tree) ProbJ() []float64 {
+	p := make([]float64, t.levels+1)
+	denom := float64(t.nodes - 1)
+	for j := 1; j < t.levels; j++ {
+		p[j] = float64(t.kPow[j]-t.kPow[j-1]) / denom
+	}
+	p[t.levels] = float64(t.nodes-t.kPow[t.levels-1]) / denom
+	return p
+}
+
+// AvgDistance returns d_avg of Eq. 8: the mean number of links crossed,
+// Σ_j 2j·P(j).
+func (t *Tree) AvgDistance() float64 {
+	var d float64
+	for j, p := range t.ProbJ() {
+		d += 2 * float64(j) * p
+	}
+	return d
+}
+
+// AvgDistanceClosedForm returns d_avg by the closed form corresponding to
+// Eq. 9 (re-derived by Abel summation; see DESIGN.md §3):
+//
+//	d_avg = 2·(2n·k^n − k^(n−1) − (k^(n−1)−k)/(k−1) − 1) / (N−1),  k > 1
+//	d_avg = 2n,                                                    k = 1
+func (t *Tree) AvgDistanceClosedForm() float64 {
+	n, k := t.levels, t.k
+	if k == 1 {
+		return 2 * float64(n)
+	}
+	num := 2*float64(n)*float64(t.kPow[n]) - float64(t.kPow[n-1]) -
+		float64(t.kPow[n-1]-k)/float64(k-1) - 1
+	return 2 * num / float64(t.nodes-1)
+}
+
+// DistanceCounts enumerates, for a fixed source node, how many destinations
+// have their NCA at each level. It is O(N·n) and exists to cross-check
+// ProbJ in tests; the result is independent of the source by symmetry.
+func (t *Tree) DistanceCounts(src int) []int64 {
+	counts := make([]int64, t.levels+1)
+	for dst := 0; dst < t.nodes; dst++ {
+		if dst == src {
+			continue
+		}
+		counts[t.NCALevel(src, dst)]++
+	}
+	return counts
+}
+
+// CheckStructure verifies the wiring invariants of the tree by exhaustive
+// enumeration: parent/child navigation must be mutually inverse and every
+// port of every switch must be used exactly once. It is O(switches·m) and
+// intended for tests and the mctopo tool.
+func (t *Tree) CheckStructure() error {
+	for l := 1; l <= t.levels; l++ {
+		for idx := 0; idx < t.levelSize[l]; idx++ {
+			sw := Switch{Level: l, Suffix: idx / t.kPow[l-1], Y: idx % t.kPow[l-1]}
+			if t.SwitchIndex(sw) != idx {
+				return fmt.Errorf("tree: switch index roundtrip failed at level %d idx %d", l, idx)
+			}
+			if got := t.SwitchAt(t.SwitchID(sw)); got != sw {
+				return fmt.Errorf("tree: flat id roundtrip failed for %+v (got %+v)", sw, got)
+			}
+			// Upward wiring.
+			if l < t.levels {
+				for q := 0; q < t.k; q++ {
+					parent, downPort := t.Parent(sw, q)
+					if parent.Level != l+1 {
+						return fmt.Errorf("tree: parent of level-%d switch has level %d", l, parent.Level)
+					}
+					child, upPort := t.ChildSwitch(parent, downPort)
+					if child != sw || upPort != q {
+						return fmt.Errorf("tree: parent/child mismatch at %+v q=%d: child=%+v up=%d", sw, q, child, upPort)
+					}
+				}
+			}
+			// Downward wiring.
+			if l == 1 {
+				for p := 0; p < t.radix(1); p++ {
+					node := t.ChildNode(sw, p)
+					leaf, port := t.LeafOf(node)
+					if leaf != sw || port != p {
+						return fmt.Errorf("tree: leaf wiring mismatch at %+v p=%d", sw, p)
+					}
+				}
+			} else {
+				for p := 0; p < t.radix(l); p++ {
+					child, upPort := t.ChildSwitch(sw, p)
+					parent, downPort := t.Parent(child, upPort)
+					if parent != sw || downPort != p {
+						return fmt.Errorf("tree: down/up wiring mismatch at %+v p=%d", sw, p)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BisectionWidth returns the number of links that must be removed to
+// separate the canonical halves of the node set (top digit x_n < k versus
+// ≥ k): N/2, i.e. the m-port n-tree has full bisection bandwidth — the
+// property the paper invokes in §2 to rule out link contention.
+func (t *Tree) BisectionWidth() int { return t.nodes / 2 }
+
+// VerifyFullBisection checks BisectionWidth by enumeration: it counts the
+// links that cross from the canonical lower half into the straddling layer
+// (the roots for n ≥ 2; the single shared switch for n = 1) and compares
+// the count with N/2.
+func (t *Tree) VerifyFullBisection() error {
+	cut := 0
+	if t.levels == 1 {
+		// One switch serves both halves: the cut consists of the lower
+		// half's node links.
+		cut = t.nodes / 2
+	} else {
+		// Count ascending links from lower-half level-(n−1) switches into
+		// the roots. A level-(n−1) switch's suffix is exactly the digit
+		// x_n, so the lower half is suffix < k.
+		for idx := 0; idx < t.levelSize[t.levels-1]; idx++ {
+			sw := Switch{
+				Level:  t.levels - 1,
+				Suffix: idx / t.kPow[t.levels-2],
+				Y:      idx % t.kPow[t.levels-2],
+			}
+			if sw.Suffix >= t.k {
+				continue
+			}
+			for q := 0; q < t.k; q++ {
+				parent, _ := t.Parent(sw, q)
+				if parent.Level != t.levels {
+					return fmt.Errorf("tree: level-(n-1) switch %+v has non-root parent", sw)
+				}
+				cut++
+			}
+		}
+	}
+	if cut != t.BisectionWidth() {
+		return fmt.Errorf("tree: enumerated bisection cut %d != N/2 = %d", cut, t.BisectionWidth())
+	}
+	return nil
+}
+
+// String describes the tree shape.
+func (t *Tree) String() string {
+	return fmt.Sprintf("%d-port %d-tree (N=%d, Nsw=%d)", t.ports, t.levels, t.nodes, t.switches)
+}

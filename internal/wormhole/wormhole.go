@@ -1,0 +1,282 @@
+// Package wormhole simulates wormhole flow control over a set of directed
+// channels: a message ("worm") acquires the channels of its route one by one
+// as its header advances, holds everything behind the header while blocked,
+// and releases each channel once its tail has crossed it.
+//
+// # Model
+//
+// The model matches the assumptions of the paper (§3, assumptions 4–5 and
+// its references Draper–Ghosh and Ould-Khaoua):
+//
+//   - each channel has a single flit buffer and a FIFO arbiter;
+//
+//   - the header needs one flit time to cross a channel, then requests the
+//     next channel of the route; while it waits, every channel already
+//     acquired stays held (chained blocking);
+//
+//   - once the header reaches the route's endpoint, the remaining M−1 flits
+//     stream behind it; the tail finishes crossing channel i at
+//
+//     TC_i = max(TC_{i−1} + ft_i, acq_i + M·ft_i)
+//
+//     the classic no-overtaking pipeline recurrence (channel i cannot pass M
+//     flits in less than M·ft_i, and the tail cannot cross channel i before
+//     it has crossed channel i−1). Channel i is released at TC_i and the
+//     worm is delivered at TC_{K−1}.
+//
+// Releases are clamped to the header-arrival instant, which only matters for
+// messages shorter than their path — the paper's workloads (M = 32/64 flits
+// over ≤ 13 hops) are far from that regime.
+//
+// The engine is deliberately topology-agnostic: routes are sequences of
+// dense channel indices whose flit times are fixed at construction. The
+// multi-cluster simulator lays out all of its networks in one channel table.
+package wormhole
+
+import (
+	"fmt"
+	"math"
+
+	"mcnet/internal/des"
+)
+
+// Worm is one in-flight message (or message segment). Reuse via Reset.
+type Worm struct {
+	// ID tags the worm for debugging and deterministic bookkeeping.
+	ID uint64
+	// Path is the route as channel indices; it must be non-empty and free of
+	// duplicates (a worm cannot hold the same channel twice).
+	Path []int32
+	// Flits is the message length M in flits.
+	Flits int
+	// OnDone, if non-nil, is invoked exactly once when the tail arrives at
+	// the endpoint. The worm may be reused afterwards.
+	OnDone func(w *Worm)
+
+	// InjectedAt, HeaderAt and TailAt record the lifecycle timestamps of the
+	// current flight (set by the network).
+	InjectedAt float64
+	HeaderAt   float64
+	TailAt     float64
+
+	pos int
+	acq []float64
+}
+
+// Reset prepares a worm for reuse with a new route.
+func (w *Worm) Reset(id uint64, path []int32, flits int, onDone func(w *Worm)) {
+	w.ID = id
+	w.Path = path
+	w.Flits = flits
+	w.OnDone = onDone
+	w.pos = 0
+	w.acq = w.acq[:0]
+	w.InjectedAt, w.HeaderAt, w.TailAt = 0, 0, 0
+}
+
+// SourceWait returns how long the worm waited for its first channel (the
+// injection queue wait), or NaN before the first grant.
+func (w *Worm) SourceWait() float64 {
+	if len(w.acq) == 0 {
+		return math.NaN()
+	}
+	return w.acq[0] - w.InjectedAt
+}
+
+// fifo is a FIFO of worms with amortized O(1) operations.
+type fifo struct {
+	items []*Worm
+	head  int
+	high  int // high-water mark of the queue length
+}
+
+func (f *fifo) push(w *Worm) {
+	f.items = append(f.items, w)
+	if n := f.len(); n > f.high {
+		f.high = n
+	}
+}
+
+func (f *fifo) pop() *Worm {
+	w := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = nil
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return w
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// channel is one directed link.
+type channel struct {
+	flit      float64
+	busy      bool
+	waiting   fifo
+	busySince float64
+	busyTotal float64
+	grants    uint64
+}
+
+// Network owns the channel table and advances worms on a scheduler.
+type Network struct {
+	sched    *des.Scheduler
+	ch       []channel
+	inFlight int
+	injected uint64
+	done     uint64
+}
+
+// New creates a network whose channel i has flit transfer time flitTimes[i].
+func New(sched *des.Scheduler, flitTimes []float64) *Network {
+	n := &Network{sched: sched, ch: make([]channel, len(flitTimes))}
+	for i, ft := range flitTimes {
+		if ft <= 0 {
+			panic(fmt.Sprintf("wormhole: channel %d has non-positive flit time %v", i, ft))
+		}
+		n.ch[i].flit = ft
+	}
+	return n
+}
+
+// Channels returns the size of the channel table.
+func (n *Network) Channels() int { return len(n.ch) }
+
+// FlitTime returns the flit transfer time of channel c.
+func (n *Network) FlitTime(c int32) float64 { return n.ch[c].flit }
+
+// InFlight returns the number of injected but not yet delivered worms.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Injected and Delivered count worm lifecycles, for conservation checks.
+func (n *Network) Injected() uint64  { return n.injected }
+func (n *Network) Delivered() uint64 { return n.done }
+
+// Busy reports whether channel c is currently held.
+func (n *Network) Busy(c int32) bool { return n.ch[c].busy }
+
+// QueueLen returns the number of worms waiting for channel c.
+func (n *Network) QueueLen(c int32) int { return n.ch[c].waiting.len() }
+
+// MaxQueueLen returns the high-water mark of channel c's waiting queue.
+func (n *Network) MaxQueueLen(c int32) int { return n.ch[c].waiting.high }
+
+// Utilization returns the fraction of [0, now] that channel c was held.
+func (n *Network) Utilization(c int32) float64 {
+	now := n.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	total := n.ch[c].busyTotal
+	if n.ch[c].busy {
+		total += now - n.ch[c].busySince
+	}
+	return total / now
+}
+
+// Grants returns how many times channel c was acquired.
+func (n *Network) Grants(c int32) uint64 { return n.ch[c].grants }
+
+// Inject starts a worm at the current simulated time. The worm queues on the
+// first channel of its route (the injection link), which is how source
+// queueing arises naturally in the model.
+func (n *Network) Inject(w *Worm) {
+	if len(w.Path) == 0 {
+		panic("wormhole: empty path")
+	}
+	if w.Flits <= 0 {
+		panic(fmt.Sprintf("wormhole: worm %d has %d flits", w.ID, w.Flits))
+	}
+	w.pos = 0
+	w.acq = w.acq[:0]
+	w.InjectedAt = n.sched.Now()
+	n.inFlight++
+	n.injected++
+	n.request(w)
+}
+
+// request asks for the channel at w.pos, granting immediately when idle.
+func (n *Network) request(w *Worm) {
+	c := &n.ch[w.Path[w.pos]]
+	if !c.busy {
+		n.grant(c, w)
+		return
+	}
+	c.waiting.push(w)
+}
+
+// grant hands the channel to the worm and schedules the header's hop.
+func (n *Network) grant(c *channel, w *Worm) {
+	now := n.sched.Now()
+	c.busy = true
+	c.busySince = now
+	c.grants++
+	w.acq = append(w.acq, now)
+	n.sched.After(c.flit, func() { n.headerAdvance(w) })
+}
+
+// headerAdvance moves the header one hop: either request the next channel or
+// complete the route.
+func (n *Network) headerAdvance(w *Worm) {
+	w.pos++
+	if w.pos < len(w.Path) {
+		n.request(w)
+		return
+	}
+	n.complete(w)
+}
+
+// complete runs when the header arrives at the endpoint: it computes the
+// tail-crossing times of every held channel, schedules the releases, and
+// schedules delivery at the tail's arrival.
+func (n *Network) complete(w *Worm) {
+	now := n.sched.Now()
+	w.HeaderAt = now
+	tc := 0.0
+	for i, ci := range w.Path {
+		ft := n.ch[ci].flit
+		ownDrain := w.acq[i] + float64(w.Flits)*ft
+		if chain := tc + ft; i > 0 && chain > ownDrain {
+			tc = chain
+		} else {
+			tc = ownDrain
+		}
+		if tc < now {
+			// Short-message clamp: never release before the header has
+			// arrived (see the package comment).
+			tc = now
+		}
+		n.scheduleRelease(ci, tc)
+	}
+	w.TailAt = tc
+	n.sched.At(tc, func() {
+		n.inFlight--
+		n.done++
+		if w.OnDone != nil {
+			w.OnDone(w)
+		}
+	})
+}
+
+func (n *Network) scheduleRelease(ci int32, at float64) {
+	n.sched.At(at, func() { n.release(ci) })
+}
+
+// release frees a channel and grants it to the next waiter, if any.
+func (n *Network) release(ci int32) {
+	c := &n.ch[ci]
+	c.busy = false
+	c.busyTotal += n.sched.Now() - c.busySince
+	if c.waiting.len() > 0 {
+		n.grant(c, c.waiting.pop())
+	}
+}

@@ -1,0 +1,137 @@
+package mcnet
+
+import (
+	"mcnet/internal/analytic"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// Re-exported configuration types.
+type (
+	// Organization describes a heterogeneous multi-cluster system.
+	Organization = system.Organization
+	// ClusterSpec is one group of identically shaped clusters.
+	ClusterSpec = system.ClusterSpec
+	// System is a validated, materialized organization.
+	System = system.System
+	// Params holds the technology parameters (latencies, bandwidth) and the
+	// message geometry (M flits of L_m bytes).
+	Params = units.Params
+	// Model is the paper's analytical latency model.
+	Model = analytic.Model
+	// ModelOptions selects between interpretations of the paper's
+	// ambiguous equations; DefaultModelOptions is the calibrated reading.
+	ModelOptions = analytic.Options
+	// ModelResult is the model's output at one offered traffic.
+	ModelResult = analytic.Result
+	// SimConfig parameterizes one simulation run.
+	SimConfig = mcsim.Config
+	// SimResult is the simulator's measured output.
+	SimResult = mcsim.Result
+)
+
+// Re-exported constructors.
+var (
+	// Table1Org1 is the paper's first validated organization
+	// (N=1120, C=32, m=8).
+	Table1Org1 = system.Table1Org1
+	// Table1Org2 is the paper's second validated organization
+	// (N=544, C=16, m=4).
+	Table1Org2 = system.Table1Org2
+	// UniformOrg builds a homogeneous organization (the baseline of the
+	// heterogeneity-study example).
+	UniformOrg = system.Uniform
+	// ParseOrganization parses "m=8:12x1,16x2,4x3"-style specs.
+	ParseOrganization = system.ParseOrganization
+	// NewSystem materializes and validates an organization.
+	NewSystem = system.New
+	// DefaultParams returns the paper's §4 parameter set
+	// (bandwidth 500 B/unit, α_net=0.02, α_sw=0.01, L_m=256, M=32).
+	DefaultParams = units.Default
+	// DefaultModelOptions is the calibrated model interpretation.
+	DefaultModelOptions = analytic.DefaultOptions
+	// PaperLiteralModelOptions is the literal reading (ablation A).
+	PaperLiteralModelOptions = analytic.PaperLiteralOptions
+	// Simulate runs the discrete-event simulator to completion.
+	Simulate = mcsim.Run
+	// ErrSaturated marks analytic operating points beyond stability.
+	ErrSaturated = analytic.ErrSaturated
+)
+
+// NewModel builds the analytical model for an organization with the
+// calibrated default options.
+func NewModel(org Organization, par Params) (*Model, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	return analytic.New(sys, par, analytic.DefaultOptions())
+}
+
+// Analyze evaluates the analytical mean message latency (Eq. 36) at
+// per-node offered traffic lambdaG. It returns ErrSaturated past the
+// model's stability region.
+func Analyze(org Organization, par Params, lambdaG float64) (float64, error) {
+	m, err := NewModel(org, par)
+	if err != nil {
+		return 0, err
+	}
+	return m.MeanLatency(lambdaG)
+}
+
+// SaturationPoint returns the offered traffic at which the model first
+// saturates (the knee the paper's figures stop at).
+func SaturationPoint(org Organization, par Params) (float64, error) {
+	m, err := NewModel(org, par)
+	if err != nil {
+		return 0, err
+	}
+	return m.SaturationPoint(1e-6, 1, 1e-4), nil
+}
+
+// Comparison pairs the model's prediction with a simulation measurement at
+// one operating point.
+type Comparison struct {
+	LambdaG    float64
+	Analysis   float64
+	Simulation float64
+	// RelativeError is |Analysis−Simulation|/Simulation.
+	RelativeError float64
+	// AnalysisSaturated reports that the model refused this load; Analysis
+	// is +Inf in that case.
+	AnalysisSaturated bool
+}
+
+// Compare evaluates both the model and a paper-methodology simulation
+// (10k/100k/10k messages) at one operating point.
+func Compare(org Organization, par Params, lambdaG float64, seed uint64) (Comparison, error) {
+	cmp := Comparison{LambdaG: lambdaG}
+	an, err := Analyze(org, par, lambdaG)
+	cmp.Analysis = an
+	if err != nil {
+		if err != analytic.ErrSaturated {
+			return cmp, err
+		}
+		cmp.AnalysisSaturated = true
+	}
+	res, err := mcsim.Run(SimConfig{
+		Org: org, Par: par, LambdaG: lambdaG,
+		Warmup: 10000, Measure: 100000, Drain: 10000, Seed: seed,
+	})
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Simulation = res.Latency.Mean
+	if !cmp.AnalysisSaturated && cmp.Simulation > 0 {
+		cmp.RelativeError = abs(cmp.Analysis-cmp.Simulation) / cmp.Simulation
+	}
+	return cmp, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

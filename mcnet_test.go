@@ -1,0 +1,75 @@
+package mcnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFacadeAnalyze(t *testing.T) {
+	v, err := Analyze(Table1Org2(), DefaultParams(), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("latency = %v", v)
+	}
+}
+
+func TestFacadeSaturation(t *testing.T) {
+	sat, err := SaturationPoint(Table1Org1(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 1e-4 || sat > 2e-3 {
+		t.Errorf("λ_sat = %v outside the expected decade", sat)
+	}
+	if _, err := Analyze(Table1Org1(), DefaultParams(), 2*sat); !errors.Is(err, ErrSaturated) {
+		t.Errorf("2·λ_sat: err = %v, want ErrSaturated", err)
+	}
+}
+
+func TestFacadeCompare(t *testing.T) {
+	org := Organization{
+		Name:  "facade-test",
+		Ports: 4,
+		Specs: []ClusterSpec{{Count: 2, Levels: 1}, {Count: 2, Levels: 2}},
+	}
+	cmp, err := Compare(org, DefaultParams(), 5e-4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AnalysisSaturated {
+		t.Fatal("unexpected saturation at mild load")
+	}
+	if cmp.RelativeError > 0.25 {
+		t.Errorf("relative error %v too large: analysis=%v sim=%v",
+			cmp.RelativeError, cmp.Analysis, cmp.Simulation)
+	}
+}
+
+func TestFacadeRejectsBadOrg(t *testing.T) {
+	if _, err := Analyze(Organization{Ports: 3}, DefaultParams(), 1e-4); err == nil {
+		t.Error("bad organization accepted")
+	}
+	if _, err := NewModel(Organization{Ports: 3}, DefaultParams()); err == nil {
+		t.Error("bad organization accepted by NewModel")
+	}
+	if _, err := SaturationPoint(Organization{Ports: 3}, DefaultParams()); err == nil {
+		t.Error("bad organization accepted by SaturationPoint")
+	}
+}
+
+func TestParseOrganizationFacade(t *testing.T) {
+	org, err := ParseOrganization("org2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalNodes() != 544 {
+		t.Errorf("N = %d, want 544", sys.TotalNodes())
+	}
+}
