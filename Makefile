@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+
+clean:
+	$(GO) clean ./...
+	rm -f cover.out

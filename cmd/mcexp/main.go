@@ -22,6 +22,7 @@ import (
 
 	"mcnet/internal/experiments"
 	"mcnet/internal/plot"
+	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
 	"mcnet/internal/validate"
@@ -29,14 +30,16 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|all")
-		scale  = flag.String("scale", "paper", "simulation scale: paper|quick")
-		out    = flag.String("out", "", "directory for CSV output (optional)")
-		points = flag.Int("points", 10, "operating points per curve")
-		reps   = flag.Int("reps", 1, "simulation replications per point")
-		seed   = flag.Uint64("seed", 1, "base RNG seed")
-		width  = flag.Int("width", 72, "chart width")
-		height = flag.Int("height", 18, "chart height")
+		exp     = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|all")
+		scale   = flag.String("scale", "paper", "simulation scale: paper|quick")
+		out     = flag.String("out", "", "directory for CSV output (optional)")
+		points  = flag.Int("points", 10, "operating points per curve")
+		reps    = flag.Int("reps", 1, "simulation replications per point")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache   = flag.String("cache", "", "directory for cross-run simulation caching (optional)")
+		width   = flag.Int("width", 72, "chart width")
+		height  = flag.Int("height", 18, "chart height")
 	)
 	flag.Parse()
 
@@ -52,6 +55,14 @@ func main() {
 	sc.Seed = *seed
 	sc.Reps = *reps
 	runner := experiments.NewRunner(sc)
+	runner.Workers = *workers
+	if *cache != "" {
+		c, err := sweep.NewDirCache(*cache)
+		if err != nil {
+			fatalf("opening -cache: %v", err)
+		}
+		runner.Cache = c
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

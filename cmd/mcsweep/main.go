@@ -1,0 +1,174 @@
+// Command mcsweep runs a declarative parameter sweep: a JSON spec file (or a
+// builtin named spec) in, a results directory of CSV + JSONL out. Jobs run
+// concurrently on a worker pool, every simulation outcome is content-hash
+// cached on disk, and output is byte-identical across runs and worker
+// counts.
+//
+// Usage:
+//
+//	mcsweep -spec fig3-m32 -dry-run          # print the expanded job grid
+//	mcsweep -spec fig3-m32 -out results/     # run the Figure 3 (M=32) grid
+//	mcsweep -spec fig3-m32 -out results/ -resume   # instant: 100% cache hits
+//	mcsweep -spec mysweep.json -workers 4    # custom spec, bounded parallelism
+//	mcsweep -spec demo -print-spec           # emit a spec JSON to start from
+//
+// A spec names its axes (organizations, message geometry, traffic patterns,
+// routing policies, load grid, replications); the cross product is the job
+// grid. Without -resume the grid's own cache entries are invalidated first,
+// so the run measures everything afresh (other sweeps sharing the output
+// directory keep their cache); with -resume, previously completed jobs are
+// reused and an interrupted sweep continues where it stopped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mcnet/internal/sweep"
+)
+
+func main() {
+	var (
+		specArg   = flag.String("spec", "", "spec file (JSON) or builtin name: "+strings.Join(sweep.BuiltinNames(), "|"))
+		out       = flag.String("out", "results", "output directory (CSV, JSONL, cache)")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		resume    = flag.Bool("resume", false, "reuse cached job outcomes from a previous run")
+		dryRun    = flag.Bool("dry-run", false, "print the expanded job grid and exit")
+		printSpec = flag.Bool("print-spec", false, "print the normalized spec as JSON and exit")
+		warmup    = flag.Int("warmup", -1, "override spec warmup message count")
+		measure   = flag.Int("measure", -1, "override spec measure message count")
+		drain     = flag.Int("drain", -1, "override spec drain message count")
+		seed      = flag.Uint64("seed", 0, "override spec base seed")
+		reps      = flag.Int("reps", 0, "override spec replications per point")
+	)
+	flag.Parse()
+	if *specArg == "" {
+		fatalf("missing -spec (a JSON file or one of: %s)", strings.Join(sweep.BuiltinNames(), ", "))
+	}
+
+	spec, err := loadSpec(*specArg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *warmup >= 0 {
+		spec.Warmup = *warmup
+	}
+	if *measure >= 0 {
+		spec.Measure = *measure
+	}
+	if *drain >= 0 {
+		spec.Drain = *drain
+	}
+	if *seed != 0 {
+		spec.BaseSeed = *seed
+	}
+	if *reps > 0 {
+		spec.Reps = *reps
+	}
+	spec = spec.Normalized()
+
+	if *printSpec {
+		b, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+
+	jobs, err := sweep.Expand(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dryRun {
+		fmt.Printf("sweep %q expands to:\n%s", spec.Name, sweep.FormatGrid(jobs))
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("creating -out: %v", err)
+	}
+	cache, err := sweep.NewDirCache(filepath.Join(*out, "cache"))
+	if err != nil {
+		fatalf("opening cache: %v", err)
+	}
+	if !*resume {
+		// Invalidate only this grid's entries: other specs sharing the
+		// output directory keep their cached outcomes.
+		for _, j := range jobs {
+			if err := cache.Delete(j.Key()); err != nil {
+				fatalf("clearing cache: %v", err)
+			}
+		}
+	}
+	csvPath := filepath.Join(*out, spec.Name+".csv")
+	jsonlPath := filepath.Join(*out, spec.Name+".jsonl")
+	csvFile, err := os.Create(csvPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer csvFile.Close()
+	jsonlFile, err := os.Create(jsonlPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer jsonlFile.Close()
+	csvSink := sweep.NewCSVSink(csvFile)
+	jsonlSink := sweep.NewJSONLSink(jsonlFile)
+
+	start := time.Now()
+	eng := &sweep.Engine{
+		Workers: *workers,
+		Cache:   cache,
+		Sinks:   []sweep.Sink{csvSink, jsonlSink},
+		Progress: func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d jobs (%d cache hits)", p.Done, p.Total, p.CacheHits)
+		},
+	}
+	sum, err := eng.RunJobs(spec, jobs)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := csvSink.Flush(); err != nil {
+		fatalf("flushing %s: %v", csvPath, err)
+	}
+	if err := jsonlSink.Flush(); err != nil {
+		fatalf("flushing %s: %v", jsonlPath, err)
+	}
+	fmt.Printf("sweep %q: %d jobs, %d executed, %d cache hits in %v\n",
+		spec.Name, sum.Total, sum.Executed, sum.CacheHits, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s\nwrote %s\n", csvPath, jsonlPath)
+}
+
+// loadSpec resolves the -spec argument: a readable file is parsed as JSON,
+// anything else must be a builtin name.
+func loadSpec(arg string) (sweep.Spec, error) {
+	if b, err := os.ReadFile(arg); err == nil {
+		var spec sweep.Spec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return spec, fmt.Errorf("parsing %s: %v", arg, err)
+		}
+		if spec.Name == "" {
+			spec.Name = strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+		}
+		return spec, nil
+	} else if !os.IsNotExist(err) {
+		return sweep.Spec{}, fmt.Errorf("reading %s: %v", arg, err)
+	}
+	if spec, ok := sweep.Builtin(arg); ok {
+		return spec, nil
+	}
+	return sweep.Spec{}, fmt.Errorf("spec %q: no such file or builtin (builtins: %s)",
+		arg, strings.Join(sweep.BuiltinNames(), ", "))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mcsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

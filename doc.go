@@ -12,11 +12,13 @@
 //   - evaluating the analytical model (NewModel, Analyze, SaturationPoint)
 //   - running the validation simulator (Simulate)
 //   - comparing the two (Compare)
+//   - orchestrating whole parameter grids (Sweep, SweepEngine, ExpandSweep)
 //
 // The implementation lives under internal/: see internal/analytic (the
 // model, Eqs. 3–36), internal/mcsim (the simulator), internal/tree and
-// internal/routing (the fat-tree substrate), and DESIGN.md for the system
-// inventory and fidelity notes.
+// internal/routing (the fat-tree substrate), internal/sweep (the concurrent
+// sweep engine behind cmd/mcsweep and the experiments), and DESIGN.md for
+// the system inventory and fidelity notes.
 //
 // # Quick start
 //
@@ -27,6 +29,7 @@
 //	fmt.Printf("analysis %.2f vs simulation %.2f time units\n",
 //		cmp.Analysis, cmp.Simulation)
 //
-// The runnable examples under examples/ and the four command-line tools
-// under cmd/ (mclat, mcsim, mcexp, mctopo) build on the same facade.
+// The runnable examples under examples/ and the five command-line tools
+// under cmd/ (mclat, mcsim, mcexp, mctopo, mcsweep) build on the same
+// facade.
 package mcnet

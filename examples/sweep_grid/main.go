@@ -1,0 +1,68 @@
+// Sweep grid: answer a question the paper never plotted — how much latency
+// does workload locality buy back on a heterogeneous system? — by declaring
+// a (traffic pattern × offered load) grid and letting the sweep engine run
+// it concurrently with deterministic seeding and in-memory collection.
+//
+// The same grid, run through cmd/mcsweep with a JSON spec, additionally
+// streams CSV/JSONL files and caches every simulation on disk.
+//
+// Run with:
+//
+//	go run ./examples/sweep_grid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcnet"
+)
+
+func main() {
+	spec := mcnet.Sweep{
+		Name: "locality-grid",
+		// The paper's second Table 1 organization, by shortcut name.
+		Orgs:     []string{"org2"},
+		Patterns: []string{"uniform", "cluster-local:0.3", "cluster-local:0.6", "cluster-local:0.9"},
+		// 4 loads ending at 60% of the analytic saturation point.
+		Loads: mcnet.SweepLoads{Points: 4, MaxFraction: 0.6},
+		// Reduced measurement scale: this is a quick demo, not a validation.
+		Warmup: 1000, Measure: 10000, Drain: 1000,
+	}
+
+	jobs, err := mcnet.ExpandSweep(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep %q: %d jobs (patterns × loads), each with its own derived seed\n\n",
+		spec.Name, len(jobs))
+
+	mem := &mcnet.SweepMemorySink{}
+	eng := &mcnet.SweepEngine{Sinks: []mcnet.SweepSink{mem}}
+	sum, err := eng.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rows: offered load. Columns: patterns. Cells: simulated mean latency.
+	fmt.Printf("%12s %10s %10s %10s %10s\n",
+		"λ_g", "uniform", "local 30%", "local 60%", "local 90%")
+	table := map[[2]int]float64{}
+	var lambdas []float64
+	for _, r := range mem.Results {
+		table[[2]int{r.Job.LoadIndex, r.Job.PatternIndex}] = float64(r.SimLatency)
+		if r.Job.PatternIndex == 0 {
+			lambdas = append(lambdas, r.Job.Lambda)
+		}
+	}
+	for li, lambda := range lambdas {
+		fmt.Printf("%12.4g", lambda)
+		for pi := range spec.Patterns {
+			fmt.Printf(" %10.2f", table[[2]int{li, pi}])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d simulations executed (%d cache hits)\n", sum.Executed, sum.CacheHits)
+	fmt.Println("locality keeps messages off the ECN1→ICN2→ECN1 path, so the")
+	fmt.Println("latency gap widens with load as the concentrators decongest.")
+}

@@ -1,0 +1,3 @@
+module mcnet
+
+go 1.24

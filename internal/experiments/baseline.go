@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"mcnet/internal/analytic"
-	"mcnet/internal/mcsim"
 	"mcnet/internal/plot"
+	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
 )
@@ -55,13 +55,13 @@ func (r Runner) BaselineComparison(org system.Organization, par units.Params, po
 			series[1].Y[i] = math.NaN()
 		}
 	}
-	r.parallelEach(points, func(i int) {
-		mean, _ := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: xs[i],
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-		})
-		series[2].Y[i] = mean
-	})
+	results, err := r.runSweep(r.simSpec("baseline", org, par, xs))
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{0, j.LoadIndex} }) {
+		series[2].Y[k[1]] = st.mean
+	}
 	return series, nil
 }
 

@@ -8,17 +8,13 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
 	"mcnet/internal/analytic"
-	"mcnet/internal/mcsim"
 	"mcnet/internal/plot"
-	"mcnet/internal/routing"
 	"mcnet/internal/stats"
+	"mcnet/internal/sweep"
 	"mcnet/internal/system"
-	"mcnet/internal/traffic"
 	"mcnet/internal/units"
 )
 
@@ -27,7 +23,8 @@ type Scale struct {
 	// Warmup, Measure and Drain are the phase message counts (paper §4:
 	// 10000/100000/10000).
 	Warmup, Measure, Drain int
-	// Seed is the base RNG seed; replication r uses Seed+r.
+	// Seed is the base RNG seed; every simulation job derives its own seed
+	// from it and the job's identity hash (see internal/sweep).
 	Seed uint64
 	// Reps is the number of independent replications averaged per point
 	// (the paper reports single runs; >1 adds error estimates).
@@ -77,12 +74,19 @@ type Figure struct {
 	Options analytic.Options
 }
 
-// Runner carries the common knobs of all experiments.
+// Runner carries the common knobs of all experiments. Every experiment's
+// simulation grid runs as a sweep spec on the sweep engine, so worker
+// bounds, deterministic per-job seeding and (optionally) result caching are
+// inherited from that subsystem.
 type Runner struct {
 	Scale   Scale
 	Options analytic.Options
-	// Workers bounds the simulation parallelism (0 = GOMAXPROCS).
+	// Workers bounds the simulation parallelism (0 = GOMAXPROCS), enforced
+	// by the sweep engine's worker pool.
 	Workers int
+	// Cache, if non-nil, caches simulation outcomes across runs (see
+	// sweep.NewDirCache); repeated figures then cost only the cache misses.
+	Cache sweep.Cache
 }
 
 // NewRunner returns a Runner with the calibrated model options.
@@ -90,64 +94,66 @@ func NewRunner(scale Scale) Runner {
 	return Runner{Scale: scale, Options: analytic.DefaultOptions()}
 }
 
-func (r Runner) workers() int {
-	if r.Workers > 0 {
-		return r.Workers
+// simSpec builds the simulation side of an experiment as a sweep spec: an
+// explicit load grid at the runner's measurement scale, with engine-side
+// analysis disabled (experiments attach their own model curves, which may
+// use custom options).
+func (r Runner) simSpec(name string, org system.Organization, par units.Params, lambdas []float64) sweep.Spec {
+	return sweep.Spec{
+		Name:     name,
+		Orgs:     []string{system.Format(org)},
+		Messages: []sweep.MessageGeometry{{Flits: par.MessageFlits, FlitBytes: par.FlitBytes}},
+		Loads:    sweep.Loads{Lambdas: lambdas},
+		Warmup:   r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
+		BaseSeed: r.Scale.Seed, Reps: r.Scale.Reps,
+		Model: "none",
+		Tech:  &sweep.Tech{AlphaNet: par.AlphaNet, AlphaSw: par.AlphaSw, BetaNet: par.BetaNet},
 	}
-	return runtime.GOMAXPROCS(0)
 }
 
-// parallelEach runs fn(i) for i in [0, n) on the runner's worker pool.
-func (r Runner) parallelEach(n int, fn func(i int)) {
-	workers := r.workers()
-	if workers > n {
-		workers = n
+// runSweep executes a spec on the runner's engine and collects the results
+// in job order.
+func (r Runner) runSweep(spec sweep.Spec) ([]sweep.Result, error) {
+	mem := &sweep.MemorySink{}
+	eng := &sweep.Engine{Workers: r.Workers, Cache: r.Cache, Sinks: []sweep.Sink{mem}}
+	if _, err := eng.Run(spec); err != nil {
+		return nil, err
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+	return mem.Results, nil
+}
+
+// pointStat is an aggregated simulation measurement at one grid point.
+type pointStat struct{ mean, sd float64 }
+
+// aggregateReps folds a sweep's replications into per-point means and
+// standard deviations, keyed by the caller's choice of job coordinates.
+// Replications that delivered nothing (NaN latency) are skipped; a point
+// with no surviving replication aggregates to NaN.
+func aggregateReps(results []sweep.Result, key func(sweep.Job) [2]int) map[[2]int]pointStat {
+	accs := make(map[[2]int]*stats.Running)
+	for _, res := range results {
+		k := key(res.Job)
+		acc := accs[k]
+		if acc == nil {
+			acc = &stats.Running{}
+			accs[k] = acc
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
-// simulatePoint runs Scale.Reps replications and aggregates them.
-func (r Runner) simulatePoint(cfg mcsim.Config) (mean, sd float64) {
-	var acc stats.Running
-	results := make([]float64, r.Scale.Reps)
-	for rep := 0; rep < r.Scale.Reps; rep++ {
-		cfg.Seed = r.Scale.Seed + uint64(rep)
-		res, _ := mcsim.Run(cfg) // truncated runs still return partial data
-		results[rep] = res.Latency.Mean
-	}
-	for _, v := range results {
-		if !math.IsNaN(v) {
+		if v := float64(res.SimLatency); !math.IsNaN(v) {
 			acc.Add(v)
 		}
 	}
-	if acc.Count() == 0 {
-		return math.NaN(), 0
+	out := make(map[[2]int]pointStat, len(accs))
+	for k, acc := range accs {
+		switch {
+		case acc.Count() == 0:
+			out[k] = pointStat{mean: math.NaN()}
+		case acc.Count() == 1:
+			out[k] = pointStat{mean: acc.Mean()}
+		default:
+			out[k] = pointStat{mean: acc.Mean(), sd: acc.StdDev()}
+		}
 	}
-	if acc.Count() == 1 {
-		return acc.Mean(), 0
-	}
-	return acc.Mean(), acc.StdDev()
+	return out
 }
 
 // LatencyFigure regenerates one latency-vs-offered-traffic panel: for each
@@ -184,27 +190,27 @@ func (r Runner) LatencyFigure(name, title string, org system.Organization, mFlit
 	xMax *= 1.02
 	fig.XMax = xMax
 
+	lambdas := make([]float64, points)
+	for pi := range lambdas {
+		lambdas[pi] = xMax * float64(pi+1) / float64(points)
+	}
 	fig.Curves = make([]Curve, len(flitBytes))
-	type job struct{ curve, point int }
-	var jobs []job
 	for ci, lm := range flitBytes {
 		fig.Curves[ci] = Curve{
 			Label:     fmt.Sprintf("Lm=%d", lm),
 			FlitBytes: lm,
 			Points:    make([]Point, points),
 		}
-		for pi := 0; pi < points; pi++ {
-			lambda := xMax * float64(pi+1) / float64(points)
+		for pi := range lambdas {
 			pt := &fig.Curves[ci].Points[pi]
-			pt.Lambda = lambda
-			an, err := models[ci].MeanLatency(lambda)
+			pt.Lambda = lambdas[pi]
+			an, err := models[ci].MeanLatency(lambdas[pi])
 			if err != nil {
 				pt.Analysis = math.NaN()
 				pt.AnalysisSaturated = true
 			} else {
 				pt.Analysis = an
 			}
-			jobs = append(jobs, job{ci, pi})
 		}
 	}
 	zeroLoad := make([]float64, len(flitBytes))
@@ -215,18 +221,24 @@ func (r Runner) LatencyFigure(name, title string, org system.Organization, mFlit
 		}
 		zeroLoad[i] = zl
 	}
-	r.parallelEach(len(jobs), func(k int) {
-		j := jobs[k]
-		pt := &fig.Curves[j.curve].Points[j.point]
-		par := units.Default().WithMessage(mFlits, flitBytes[j.curve])
-		mean, sd := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: pt.Lambda,
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-		})
-		pt.Simulation = mean
-		pt.SimStdDev = sd
-		pt.SimSaturated = mean > 50*zeroLoad[j.curve]
-	})
+
+	// The figure's whole simulation grid is one sweep: the message-geometry
+	// axis carries the curves, the load axis the operating points.
+	spec := r.simSpec(name, org, units.Default().WithMessage(mFlits, flitBytes[0]), lambdas)
+	spec.Messages = make([]sweep.MessageGeometry, len(flitBytes))
+	for ci, lm := range flitBytes {
+		spec.Messages[ci] = sweep.MessageGeometry{Flits: mFlits, FlitBytes: lm}
+	}
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return fig, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{j.MsgIndex, j.LoadIndex} }) {
+		pt := &fig.Curves[k[0]].Points[k[1]]
+		pt.Simulation = st.mean
+		pt.SimStdDev = st.sd
+		pt.SimSaturated = st.mean > 50*zeroLoad[k[0]]
+	}
 	return fig, nil
 }
 
@@ -367,17 +379,10 @@ func (r Runner) TrafficPatternStudy(org system.Organization, par units.Params, p
 	for i := range xs {
 		xs[i] = 0.7 * sat * float64(i+1) / float64(points)
 	}
-	patterns := []struct {
-		label   string
-		factory func(*system.System) traffic.Pattern
-	}{
-		{"uniform", nil},
-		{"hotspot 5%", func(s *system.System) traffic.Pattern {
-			return traffic.Hotspot{N: s.TotalNodes(), Hot: 0, Fraction: 0.05}
-		}},
-		{"cluster-local 60%", func(s *system.System) traffic.Pattern {
-			return traffic.ClusterLocal{Sys: s, PLocal: 0.6}
-		}},
+	patterns := []struct{ label, spec string }{
+		{"uniform", "uniform"},
+		{"hotspot 5%", "hotspot:0.05"},
+		{"cluster-local 60%", "cluster-local:0.6"},
 	}
 	series := make([]plot.Series, len(patterns)+1)
 	series[0] = plot.Series{Label: "analysis uniform", X: xs, Y: make([]float64, points)}
@@ -391,22 +396,18 @@ func (r Runner) TrafficPatternStudy(org system.Organization, par units.Params, p
 	for pi, p := range patterns {
 		series[pi+1] = plot.Series{Label: "sim " + p.label, X: xs, Y: make([]float64, points)}
 	}
-	type job struct{ pattern, point int }
-	var jobs []job
-	for pi := range patterns {
-		for i := range xs {
-			jobs = append(jobs, job{pi, i})
-		}
+	spec := r.simSpec("traffic-patterns", org, par, xs)
+	spec.Patterns = make([]string, len(patterns))
+	for pi, p := range patterns {
+		spec.Patterns[pi] = p.spec
 	}
-	r.parallelEach(len(jobs), func(k int) {
-		j := jobs[k]
-		mean, _ := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: xs[j.point],
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-			Pattern: patterns[j.pattern].factory,
-		})
-		series[j.pattern+1].Y[j.point] = mean
-	})
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{j.PatternIndex, j.LoadIndex} }) {
+		series[k[0]+1].Y[k[1]] = st.mean
+	}
 	return series, nil
 }
 
@@ -427,33 +428,20 @@ func (r Runner) RoutingAblation(org system.Organization, par units.Params, point
 	for i := range xs {
 		xs[i] = 0.85 * sat * float64(i+1) / float64(points)
 	}
-	modes := []struct {
-		label string
-		mode  routing.Mode
-	}{
-		{"balanced", routing.Balanced},
-		{"random-up", routing.RandomUp},
-	}
+	modes := []string{"balanced", "random-up"}
 	series := make([]plot.Series, len(modes))
 	for mi := range modes {
-		series[mi] = plot.Series{Label: "sim " + modes[mi].label, X: xs, Y: make([]float64, points)}
+		series[mi] = plot.Series{Label: "sim " + modes[mi], X: xs, Y: make([]float64, points)}
 	}
-	type job struct{ mode, point int }
-	var jobs []job
-	for mi := range modes {
-		for i := range xs {
-			jobs = append(jobs, job{mi, i})
-		}
+	spec := r.simSpec("routing-ablation", org, par, xs)
+	spec.Routing = modes
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return nil, err
 	}
-	r.parallelEach(len(jobs), func(k int) {
-		j := jobs[k]
-		mean, _ := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: xs[j.point],
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-			RoutingMode: modes[j.mode].mode,
-		})
-		series[j.mode].Y[j.point] = mean
-	})
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{j.RoutingIndex, j.LoadIndex} }) {
+		series[k[0]].Y[k[1]] = st.mean
+	}
 	return series, nil
 }
 
@@ -494,13 +482,13 @@ func (r Runner) InterpretationAblation(org system.Organization, par units.Params
 		mk("model paper-literal", literal),
 		{Label: "simulation", X: xs, Y: make([]float64, points)},
 	}
-	r.parallelEach(points, func(i int) {
-		mean, _ := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: xs[i],
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-		})
-		series[2].Y[i] = mean
-	})
+	results, err := r.runSweep(r.simSpec("interpretation-ablation", org, par, xs))
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{0, j.LoadIndex} }) {
+		series[2].Y[k[1]] = st.mean
+	}
 	return series, nil
 }
 
@@ -542,12 +530,12 @@ func (r Runner) RateHeterogeneityStudy(points int) ([]plot.Series, error) {
 		}
 		series[0].Y[i] = v
 	}
-	r.parallelEach(points, func(i int) {
-		mean, _ := r.simulatePoint(mcsim.Config{
-			Org: org, Par: par, LambdaG: xs[i],
-			Warmup: r.Scale.Warmup, Measure: r.Scale.Measure, Drain: r.Scale.Drain,
-		})
-		series[1].Y[i] = mean
-	})
+	results, err := r.runSweep(r.simSpec("rate-hetero", org, par, xs))
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{0, j.LoadIndex} }) {
+		series[1].Y[k[1]] = st.mean
+	}
 	return series, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
 )
@@ -272,6 +273,74 @@ func TestSaturationSummary(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("summary missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// sameCurves compares figures point by point, treating NaN (saturated
+// analysis) as equal to NaN — which reflect.DeepEqual does not.
+func sameCurves(a, b []Curve) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	for ci := range a {
+		if len(a[ci].Points) != len(b[ci].Points) {
+			return false
+		}
+		for pi := range a[ci].Points {
+			p, q := a[ci].Points[pi], b[ci].Points[pi]
+			if !eq(p.Lambda, q.Lambda) || !eq(p.Analysis, q.Analysis) ||
+				!eq(p.Simulation, q.Simulation) || !eq(p.SimStdDev, q.SimStdDev) ||
+				p.AnalysisSaturated != q.AnalysisSaturated || p.SimSaturated != q.SimSaturated {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWorkersKnobDoesNotChangeResults(t *testing.T) {
+	// Per-job deterministic seeding makes the figure independent of the
+	// worker count: an explicit Workers knob, the GOMAXPROCS default and a
+	// serial run must all produce identical numbers.
+	var figs []Figure
+	for _, workers := range []int{0, 1, 3} {
+		r := NewRunner(tinyScale())
+		r.Workers = workers
+		fig, err := r.LatencyFigure("workers", "workers", tinyOrg(), 32, []int{256}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		figs = append(figs, fig)
+	}
+	for i := 1; i < len(figs); i++ {
+		if !sameCurves(figs[0].Curves, figs[i].Curves) {
+			t.Errorf("worker setting %d changed the figure:\n%+v\nvs\n%+v",
+				i, figs[0].Curves, figs[i].Curves)
+		}
+	}
+}
+
+func TestRunnerCacheReused(t *testing.T) {
+	// A cached runner re-executes nothing on the second identical figure.
+	cache := sweep.NewMemCache()
+	r := NewRunner(tinyScale())
+	r.Cache = cache
+	fig1, err := r.LatencyFigure("cached", "cached", tinyOrg(), 32, []int{256}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("runner did not populate its cache")
+	}
+	fig2, err := r.LatencyFigure("cached", "cached", tinyOrg(), 32, []int{256}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCurves(fig1.Curves, fig2.Curves) {
+		t.Error("cache-hit figure differs from the original")
 	}
 }
 

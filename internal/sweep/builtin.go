@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// figureSpec builds the sweep behind one latency figure panel: both flit
+// sizes over a shared load grid ending just past the latest model
+// saturation, at the paper's measurement scale.
+func figureSpec(name, org string, mFlits int) Spec {
+	return Spec{
+		Name:     name,
+		Orgs:     []string{org},
+		Messages: []MessageGeometry{{Flits: mFlits, FlitBytes: 256}, {Flits: mFlits, FlitBytes: 512}},
+		Loads:    Loads{Points: 10, MaxFraction: 1.02},
+		Warmup:   10000, Measure: 100000, Drain: 10000,
+	}
+}
+
+// Builtin resolves a named predefined sweep: the four figure panels of the
+// paper's evaluation ("fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64") and a
+// cheap smoke-test grid ("demo").
+func Builtin(name string) (Spec, bool) {
+	switch name {
+	case "fig3-m32":
+		return figureSpec(name, "org1", 32), true
+	case "fig3-m64":
+		return figureSpec(name, "org1", 64), true
+	case "fig4-m32":
+		return figureSpec(name, "org2", 32), true
+	case "fig4-m64":
+		return figureSpec(name, "org2", 64), true
+	case "demo":
+		return Spec{
+			Name:     "demo",
+			Orgs:     []string{"m=4:2x1,2x2"},
+			Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+			Patterns: []string{"uniform", "cluster-local:0.6"},
+			Loads:    Loads{Points: 4, MaxFraction: 0.7},
+			Warmup:   300, Measure: 3000, Drain: 300,
+		}, true
+	}
+	return Spec{}, false
+}
+
+// BuiltinNames lists the predefined sweeps in stable order.
+func BuiltinNames() []string {
+	names := []string{"fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64", "demo"}
+	sort.Strings(names)
+	return names
+}
+
+// FormatGrid renders an expanded job grid as the dry-run table: one row per
+// job with its axis values, derived seed and cache-key prefix.
+func FormatGrid(jobs []Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s  %-24s %3s %5s %-18s %-10s %12s %4s %-20s %s\n",
+		"index", "org", "M", "Lm", "pattern", "routing", "lambda", "rep", "sim_seed", "key")
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "%5d  %-24s %3d %5d %-18s %-10s %12.5g %4d %-20d %s\n",
+			j.Index, j.Org, j.Flits, j.FlitBytes, j.Pattern, j.Routing,
+			j.Lambda, j.Rep, j.SimSeed, j.Key()[:12])
+	}
+	fmt.Fprintf(&b, "%d jobs\n", len(jobs))
+	return b.String()
+}

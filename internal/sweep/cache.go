@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Outcome is the cached product of one job: the simulation measurements.
+// The analytic curve is recomputed on every run (it is cheap and depends on
+// the spec's model preset, which is not part of the job identity).
+type Outcome struct {
+	// SimLatency is the mean generation→delivery latency of the measured
+	// messages (NaN when none were delivered).
+	SimLatency Float `json:"sim_latency"`
+	// SimSourceWait is the mean injection-queue wait (the quantity the
+	// model's Eqs. 23/30 approximate).
+	SimSourceWait Float `json:"sim_source_wait"`
+	// SimPOut is the observed fraction of measured messages that left their
+	// source cluster (compare Eq. 13).
+	SimPOut Float `json:"sim_pout"`
+	// Delivered counts measured messages that arrived; Truncated reports an
+	// exhausted event budget (extreme saturation).
+	Delivered int  `json:"delivered"`
+	Truncated bool `json:"truncated"`
+}
+
+// Cache stores job outcomes by content key. Implementations must be safe for
+// concurrent use by the engine's workers.
+type Cache interface {
+	// Get returns the cached outcome for key, if present.
+	Get(key string) (Outcome, bool)
+	// Put stores the outcome for key.
+	Put(key string, o Outcome) error
+}
+
+// DirCache is a disk-backed cache holding one JSON file per job, so sweeps
+// survive interruption and re-runs resume instantly.
+type DirCache struct {
+	dir string
+}
+
+// NewDirCache opens (creating if needed) a cache rooted at dir.
+func NewDirCache(dir string) (*DirCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirCache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *DirCache) Dir() string { return c.dir }
+
+func (c *DirCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get implements Cache. Unreadable or corrupt entries count as misses.
+func (c *DirCache) Get(key string) (Outcome, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Outcome{}, false
+	}
+	var o Outcome
+	if err := json.Unmarshal(b, &o); err != nil {
+		return Outcome{}, false
+	}
+	return o, true
+}
+
+// Put implements Cache. The entry is written to a temporary file and renamed
+// into place, so a concurrent reader never observes a partial entry.
+func (c *DirCache) Put(key string, o Outcome) error {
+	b, err := json.Marshal(o)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Len returns the number of cached entries.
+func (c *DirCache) Len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete removes one cached entry; deleting an absent key is not an error.
+func (c *DirCache) Delete(key string) error {
+	err := os.Remove(c.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Clear removes every cached entry, forcing the next run to re-execute.
+func (c *DirCache) Clear() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			if err := os.Remove(filepath.Join(c.dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MemCache is an in-memory Cache for tests and single-process reuse. The
+// zero value is not usable; use NewMemCache.
+type MemCache struct {
+	mu sync.Mutex
+	m  map[string]Outcome
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: make(map[string]Outcome)} }
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.m[key]
+	return o, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, o Outcome) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = o
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *MemCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mcnet/internal/analytic"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// Result is one emitted row of a sweep: the job, the attached analytic
+// prediction, and the simulation outcome.
+type Result struct {
+	Job Job `json:"job"`
+	// Analysis is the model's Eq. 36 latency at the job's load (NaN when the
+	// model is saturated there or the spec's model preset is "none").
+	Analysis          Float `json:"analysis"`
+	AnalysisSaturated bool  `json:"analysis_saturated"`
+	Outcome
+	// Cached reports that the outcome came from the cache rather than a
+	// fresh simulation. It is deliberately excluded from serialized output
+	// so a resumed sweep reproduces the original files byte for byte.
+	Cached bool `json:"-"`
+}
+
+// Progress is a live engine report, delivered once per emitted result in
+// job order.
+type Progress struct {
+	Done      int // results emitted so far (including this one)
+	Total     int
+	CacheHits int
+	Result    Result
+}
+
+// Summary totals an engine run.
+type Summary struct {
+	Total     int // jobs in the expanded grid
+	Executed  int // jobs that ran the simulator
+	CacheHits int // jobs satisfied from the cache
+}
+
+// Engine executes a sweep's jobs on a bounded worker pool and streams
+// results, in job order, to its sinks.
+type Engine struct {
+	// Workers bounds the number of concurrent simulations
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
+	// Cache, if non-nil, is consulted before and written after every job.
+	Cache Cache
+	// Sinks receive every result in job order.
+	Sinks []Sink
+	// Progress, if non-nil, is called after each result is emitted.
+	Progress func(Progress)
+}
+
+// testHookJobStart, when non-nil, is invoked by a worker as it begins
+// executing (not cache-hitting) a job. Tests use it to observe concurrency.
+var testHookJobStart func(Job)
+
+func (e *Engine) workers(jobs int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run expands the spec and executes the grid. Results stream to the sinks in
+// job order regardless of worker scheduling, so output is deterministic at
+// any worker count.
+func (e *Engine) Run(spec Spec) (Summary, error) {
+	spec = spec.Normalized()
+	jobs, err := Expand(spec)
+	if err != nil {
+		return Summary{}, err
+	}
+	return e.RunJobs(spec, jobs)
+}
+
+// RunJobs executes an already expanded grid (as printed by a dry run).
+func (e *Engine) RunJobs(spec Spec, jobs []Job) (Summary, error) {
+	spec = spec.Normalized()
+	sum := Summary{Total: len(jobs)}
+	if len(jobs) == 0 {
+		return sum, nil
+	}
+	analyses, err := analysisTable(spec, jobs)
+	if err != nil {
+		return sum, err
+	}
+
+	type indexed struct {
+		pos int
+		res Result
+		err error
+	}
+	workers := e.workers(len(jobs))
+	in := make(chan int)
+	out := make(chan indexed, workers)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	stop := func() { abortOnce.Do(func() { close(abort) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range in {
+				res, err := e.runJob(jobs[pos])
+				select {
+				case out <- indexed{pos, res, err}:
+				case <-abort:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(in)
+		for pos := range jobs {
+			select {
+			case in <- pos:
+			case <-abort:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		stop()
+	}
+	pending := make(map[int]Result, workers)
+	next := 0
+	for r := range out {
+		if r.err != nil {
+			fail(r.err)
+			continue
+		}
+		pending[r.pos] = r.res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			a := analyses[analysisKey(res.Job)]
+			res.Analysis = a.value
+			res.AnalysisSaturated = a.saturated
+			if res.Cached {
+				sum.CacheHits++
+			} else {
+				sum.Executed++
+			}
+			for _, s := range e.Sinks {
+				if err := s.Write(res); err != nil {
+					fail(fmt.Errorf("sweep: sink: %w", err))
+					break
+				}
+			}
+			if e.Progress != nil && firstErr == nil {
+				e.Progress(Progress{Done: next, Total: len(jobs), CacheHits: sum.CacheHits, Result: res})
+			}
+		}
+	}
+	stop()
+	return sum, firstErr
+}
+
+// runJob satisfies one job from the cache or by running the simulator.
+func (e *Engine) runJob(j Job) (Result, error) {
+	key := j.Key()
+	if e.Cache != nil {
+		if o, ok := e.Cache.Get(key); ok {
+			return Result{Job: j, Outcome: o, Cached: true}, nil
+		}
+	}
+	if testHookJobStart != nil {
+		testHookJobStart(j)
+	}
+	o, err := Execute(j)
+	if err != nil {
+		return Result{}, err
+	}
+	if e.Cache != nil {
+		if err := e.Cache.Put(key, o); err != nil {
+			return Result{}, fmt.Errorf("sweep: cache: %w", err)
+		}
+	}
+	return Result{Job: j, Outcome: o}, nil
+}
+
+// Execute runs one job's simulation to completion.
+func Execute(j Job) (Outcome, error) {
+	org, err := system.ParseOrganization(j.Org)
+	if err != nil {
+		return Outcome{}, err
+	}
+	pattern, err := ParsePattern(j.Pattern)
+	if err != nil {
+		return Outcome{}, err
+	}
+	mode, err := ParseRouting(j.Routing)
+	if err != nil {
+		return Outcome{}, err
+	}
+	par := units.Params{
+		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
+		FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
+	}
+	res, err := mcsim.Run(mcsim.Config{
+		Org: org, Par: par, LambdaG: j.Lambda,
+		Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
+		Seed: j.SimSeed, Pattern: pattern, RoutingMode: mode,
+	})
+	if err != nil && !res.Truncated {
+		return Outcome{}, err
+	}
+	// Truncated runs (extreme saturation) still carry partial measurements;
+	// report them rather than failing the sweep.
+	o := Outcome{
+		SimLatency:    Float(res.Latency.Mean),
+		SimSourceWait: Float(res.SourceWait.Mean),
+		SimPOut:       Float(res.ObservedPOut),
+		Delivered:     res.DeliveredMeasured,
+		Truncated:     res.Truncated,
+	}
+	if res.DeliveredMeasured == 0 {
+		o.SimLatency = Float(math.NaN())
+	}
+	return o, nil
+}
+
+// analysisPoint is one precomputed analytic latency.
+type analysisPoint struct {
+	value     Float
+	saturated bool
+}
+
+// analysisKey indexes the analysis table: the model latency depends only on
+// the organization, the message geometry and the load.
+func analysisKey(j Job) [3]int { return [3]int{j.OrgIndex, j.MsgIndex, j.LoadIndex} }
+
+// analysisTable precomputes the analytic latency for every distinct
+// (org, message, load) combination of the grid, sequentially and before any
+// simulation starts, so emission never blocks on model evaluation.
+func analysisTable(spec Spec, jobs []Job) (map[[3]int]analysisPoint, error) {
+	table := make(map[[3]int]analysisPoint)
+	if spec.Model == "none" {
+		nan := analysisPoint{value: Float(math.NaN())}
+		for _, j := range jobs {
+			table[analysisKey(j)] = nan
+		}
+		return table, nil
+	}
+	opts, err := ModelOptions(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	type mkey struct{ org, msg int }
+	models := make(map[mkey]*analytic.Model)
+	for _, j := range jobs {
+		k := analysisKey(j)
+		if _, ok := table[k]; ok {
+			continue
+		}
+		mk := mkey{j.OrgIndex, j.MsgIndex}
+		m, ok := models[mk]
+		if !ok {
+			org, err := system.ParseOrganization(j.Org)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := system.New(org)
+			if err != nil {
+				return nil, err
+			}
+			par := units.Params{
+				AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
+				FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
+			}
+			m, err = analytic.New(sys, par, opts)
+			if err != nil {
+				return nil, err
+			}
+			models[mk] = m
+		}
+		var p analysisPoint
+		if v, err := m.MeanLatency(j.Lambda); err != nil {
+			p = analysisPoint{value: Float(math.NaN()), saturated: true}
+		} else {
+			p = analysisPoint{value: Float(v)}
+		}
+		table[k] = p
+	}
+	return table, nil
+}

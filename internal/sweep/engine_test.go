@@ -1,0 +1,264 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runToBytes executes the spec and returns the CSV and JSONL output bytes.
+func runToBytes(t *testing.T, eng *Engine, spec Spec) (csv, jsonl []byte, sum Summary) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	cs, js := NewCSVSink(&cb), NewJSONLSink(&jb)
+	eng.Sinks = []Sink{cs, js}
+	sum, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes(), sum
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	// Same spec + seed ⇒ byte-identical CSV and JSONL, across two fresh runs
+	// and across worker counts.
+	csv1, jsonl1, sum := runToBytes(t, &Engine{Workers: 4}, tinySpec())
+	if sum.Executed != sum.Total || sum.CacheHits != 0 {
+		t.Fatalf("uncached run summary %+v", sum)
+	}
+	csv2, jsonl2, _ := runToBytes(t, &Engine{Workers: 4}, tinySpec())
+	if !bytes.Equal(csv1, csv2) || !bytes.Equal(jsonl1, jsonl2) {
+		t.Error("two runs of the same spec produced different bytes")
+	}
+	csv3, jsonl3, _ := runToBytes(t, &Engine{Workers: 1}, tinySpec())
+	if !bytes.Equal(csv1, csv3) || !bytes.Equal(jsonl1, jsonl3) {
+		t.Error("worker count changed the output bytes")
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv1)), "\n")
+	if len(lines) != sum.Total+1 {
+		t.Errorf("CSV has %d lines, want header + %d rows", len(lines), sum.Total)
+	}
+	if lines[0] != strings.Join(CSVHeader, ",") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestCSVOutputParses(t *testing.T) {
+	// Organization specs contain commas ("m=4:2x1,2x2"), so the CSV sink
+	// must quote; every row must align with the header.
+	csvBytes, _, _ := runToBytes(t, &Engine{}, tinySpec())
+	records, err := csv.NewReader(bytes.NewReader(csvBytes)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not parse: %v", err)
+	}
+	for i, rec := range records {
+		if len(rec) != len(CSVHeader) {
+			t.Fatalf("row %d has %d fields, want %d: %q", i, len(rec), len(CSVHeader), rec)
+		}
+	}
+	if got := records[1][1]; got != "m=4:2x1,2x2" {
+		t.Errorf("org field = %q, want the unsplit spec", got)
+	}
+}
+
+func TestResumeHitsCacheCompletely(t *testing.T) {
+	cache, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := int32(0)
+	testHookJobStart = func(Job) { atomic.AddInt32(&executed, 1) }
+	defer func() { testHookJobStart = nil }()
+
+	csv1, jsonl1, sum1 := runToBytes(t, &Engine{Cache: cache}, tinySpec())
+	if sum1.Executed != sum1.Total || sum1.CacheHits != 0 {
+		t.Fatalf("first run summary %+v", sum1)
+	}
+	if got := atomic.LoadInt32(&executed); int(got) != sum1.Total {
+		t.Fatalf("first run simulated %d jobs, want %d", got, sum1.Total)
+	}
+	if cache.Len() != sum1.Total {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), sum1.Total)
+	}
+
+	// The resumed run must re-execute zero jobs and reproduce the files
+	// byte for byte.
+	atomic.StoreInt32(&executed, 0)
+	csv2, jsonl2, sum2 := runToBytes(t, &Engine{Cache: cache}, tinySpec())
+	if sum2.CacheHits != sum2.Total || sum2.Executed != 0 {
+		t.Fatalf("resumed run summary %+v, want 100%% cache hits", sum2)
+	}
+	if got := atomic.LoadInt32(&executed); got != 0 {
+		t.Fatalf("resumed run simulated %d jobs, want 0", got)
+	}
+	if !bytes.Equal(csv1, csv2) || !bytes.Equal(jsonl1, jsonl2) {
+		t.Error("resumed run produced different bytes")
+	}
+}
+
+func TestPartialCacheResumesRemainder(t *testing.T) {
+	// An "interrupted" sweep — here: a cache primed with only the first
+	// half of the grid — re-executes exactly the missing jobs.
+	spec := tinySpec()
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMemCache()
+	mem := &MemorySink{}
+	if _, err := (&Engine{Cache: cache, Sinks: []Sink{mem}}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	full := mem.Results
+	half := NewMemCache()
+	for _, j := range jobs[:len(jobs)/2] {
+		o, _ := cache.Get(j.Key())
+		if err := half.Put(j.Key(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem2 := &MemorySink{}
+	sum, err := (&Engine{Cache: half, Sinks: []Sink{mem2}}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CacheHits != len(jobs)/2 || sum.Executed != len(jobs)-len(jobs)/2 {
+		t.Fatalf("summary %+v, want %d hits + %d executed", sum, len(jobs)/2, len(jobs)-len(jobs)/2)
+	}
+	for i := range full {
+		if full[i].SimLatency != mem2.Results[i].SimLatency {
+			t.Errorf("result %d differs after partial resume", i)
+		}
+	}
+}
+
+func TestWorkersBoundRespected(t *testing.T) {
+	var cur, peak int32
+	testHookJobStart = func(Job) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	}
+	defer func() { testHookJobStart = nil }()
+	spec := tinySpec()
+	spec.Reps = 3 // 12 jobs
+	if _, err := (&Engine{Workers: 2, Sinks: []Sink{&MemorySink{}}}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt32(&peak); p > 2 {
+		t.Errorf("observed %d concurrent jobs with Workers=2", p)
+	}
+}
+
+func TestWorkersActuallyRunConcurrently(t *testing.T) {
+	// Two workers must be in flight at once: the first job blocks until a
+	// second job arrives (with a timeout escape that fails the test).
+	rendezvous := make(chan struct{})
+	var met int32
+	testHookJobStart = func(Job) {
+		select {
+		case rendezvous <- struct{}{}:
+			atomic.AddInt32(&met, 1)
+		case <-rendezvous:
+			atomic.AddInt32(&met, 1)
+		case <-time.After(10 * time.Second):
+		}
+	}
+	defer func() { testHookJobStart = nil }()
+	spec := tinySpec() // 4 jobs
+	if _, err := (&Engine{Workers: 2, Sinks: []Sink{&MemorySink{}}}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&met) < 2 {
+		t.Error("no two jobs ever overlapped with Workers=2")
+	}
+}
+
+func TestSaturatedPointsCarryNaN(t *testing.T) {
+	// Push the grid past saturation: the analysis column must mark the
+	// saturated points, and the JSONL round-trips their NaN as null.
+	spec := tinySpec()
+	spec.Loads = Loads{Points: 3, MaxFraction: 1.4}
+	mem := &MemorySink{}
+	var jb bytes.Buffer
+	js := NewJSONLSink(&jb)
+	if _, err := (&Engine{Sinks: []Sink{mem, js}}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	sawSat := false
+	for _, r := range mem.Results {
+		if r.AnalysisSaturated {
+			sawSat = true
+			if !math.IsNaN(float64(r.Analysis)) {
+				t.Errorf("saturated point carries analysis %v, want NaN", r.Analysis)
+			}
+		}
+	}
+	if !sawSat {
+		t.Error("no point saturated on a grid reaching 1.4×λ_sat")
+	}
+	if err := js.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"analysis":null`) {
+		t.Error("JSONL does not encode saturated analysis as null")
+	}
+}
+
+func TestModelPresetNone(t *testing.T) {
+	spec := tinySpec()
+	spec.Model = "none"
+	mem := &MemorySink{}
+	if _, err := (&Engine{Sinks: []Sink{mem}}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range mem.Results {
+		if !math.IsNaN(float64(r.Analysis)) {
+			t.Errorf("model preset none produced analysis %v", r.Analysis)
+		}
+		if math.IsNaN(float64(r.SimLatency)) {
+			t.Error("simulation missing under model preset none")
+		}
+	}
+}
+
+func TestProgressReports(t *testing.T) {
+	var events []Progress
+	eng := &Engine{Progress: func(p Progress) { events = append(events, p) }}
+	_, _, sum := runToBytes(t, eng, tinySpec())
+	if len(events) != sum.Total {
+		t.Fatalf("%d progress events, want %d", len(events), sum.Total)
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != sum.Total {
+			t.Errorf("event %d: %+v", i, p)
+		}
+		if p.Result.Job.Index != i {
+			t.Errorf("event %d delivered job %d out of order", i, p.Result.Job.Index)
+		}
+	}
+}
+
+func TestRunInvalidSpecFails(t *testing.T) {
+	spec := tinySpec()
+	spec.Orgs = []string{"m=3:2x1"}
+	if _, err := (&Engine{}).Run(spec); err == nil {
+		t.Error("invalid spec ran without error")
+	}
+}

@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mcnet/internal/analytic"
+	"mcnet/internal/system"
+)
+
+// Job is one fully resolved simulation of the expanded grid. The exported
+// fields up to Drain are the job's identity: they determine the simulation
+// outcome completely, and Key hashes exactly them. The *Index fields are the
+// job's coordinates on the spec's axes, kept for mapping results back onto
+// figures; they do not enter the key, so reordering an axis in a spec does
+// not invalidate cached outcomes.
+type Job struct {
+	// Org is the organization in canonical ParseOrganization syntax.
+	Org string `json:"org"`
+	// Flits (M) and FlitBytes (L_m) are the message geometry.
+	Flits     int `json:"flits"`
+	FlitBytes int `json:"flit_bytes"`
+	// Pattern and Routing are the axis spec strings (see ParsePattern,
+	// ParseRouting).
+	Pattern string `json:"pattern"`
+	Routing string `json:"routing"`
+	// Lambda is λ_g, the per-node offered traffic.
+	Lambda float64 `json:"lambda"`
+	// Rep is the replication index; SimSeed is the derived simulator seed.
+	Rep     int    `json:"rep"`
+	SimSeed uint64 `json:"sim_seed"`
+	// AlphaNet, AlphaSw and BetaNet are the resolved technology parameters.
+	AlphaNet float64 `json:"alpha_net"`
+	AlphaSw  float64 `json:"alpha_sw"`
+	BetaNet  float64 `json:"beta_net"`
+	// Warmup, Measure and Drain are the measurement phase message counts.
+	Warmup  int `json:"warmup"`
+	Measure int `json:"measure"`
+	Drain   int `json:"drain"`
+
+	// Index is the job's position in expansion order; the remaining indices
+	// are its coordinates on the spec's axes.
+	Index        int `json:"index"`
+	OrgIndex     int `json:"org_index"`
+	MsgIndex     int `json:"msg_index"`
+	PatternIndex int `json:"pattern_index"`
+	RoutingIndex int `json:"routing_index"`
+	LoadIndex    int `json:"load_index"`
+}
+
+// identity renders the outcome-determining fields canonically. Floats use
+// hex notation, which round-trips every bit.
+func (j Job) identity() string {
+	hf := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	return strings.Join([]string{
+		"org=" + j.Org,
+		"flits=" + strconv.Itoa(j.Flits),
+		"flitbytes=" + strconv.Itoa(j.FlitBytes),
+		"pattern=" + j.Pattern,
+		"routing=" + j.Routing,
+		"lambda=" + hf(j.Lambda),
+		"rep=" + strconv.Itoa(j.Rep),
+		"alphanet=" + hf(j.AlphaNet),
+		"alphasw=" + hf(j.AlphaSw),
+		"betanet=" + hf(j.BetaNet),
+		"warmup=" + strconv.Itoa(j.Warmup),
+		"measure=" + strconv.Itoa(j.Measure),
+		"drain=" + strconv.Itoa(j.Drain),
+		"seed=" + strconv.FormatUint(j.SimSeed, 10),
+	}, "|")
+}
+
+// Key returns the job's content hash, the cache key of its simulation
+// outcome.
+func (j Job) Key() string {
+	sum := sha256.Sum256([]byte(j.identity()))
+	return hex.EncodeToString(sum[:])
+}
+
+// deriveSeed computes the job's simulator seed from the sweep's base seed
+// and the job's identity (with the seed field itself still zero), giving
+// every job an independent deterministic stream.
+func deriveSeed(base uint64, j Job) uint64 {
+	h := sha256.New()
+	h.Write([]byte(j.identity()))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	h.Write(b[:])
+	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// Expand normalizes and validates the spec and returns its full job grid in
+// the canonical order org → message → pattern → routing → load → rep.
+func Expand(spec Spec) ([]Job, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	grids, err := loadGrids(spec)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for oi, org := range spec.Orgs {
+		canonical, err := canonicalOrg(org)
+		if err != nil {
+			return nil, err
+		}
+		for mi, msg := range spec.Messages {
+			par := spec.params(msg)
+			for pi, pat := range spec.Patterns {
+				for ri, rt := range spec.Routing {
+					for li, lambda := range grids[oi] {
+						for rep := 0; rep < spec.Reps; rep++ {
+							j := Job{
+								Org:       canonical,
+								Flits:     msg.Flits,
+								FlitBytes: msg.FlitBytes,
+								Pattern:   pat,
+								Routing:   rt,
+								Lambda:    lambda,
+								Rep:       rep,
+								AlphaNet:  par.AlphaNet,
+								AlphaSw:   par.AlphaSw,
+								BetaNet:   par.BetaNet,
+								Warmup:    spec.Warmup,
+								Measure:   spec.Measure,
+								Drain:     spec.Drain,
+
+								Index:        len(jobs),
+								OrgIndex:     oi,
+								MsgIndex:     mi,
+								PatternIndex: pi,
+								RoutingIndex: ri,
+								LoadIndex:    li,
+							}
+							j.SimSeed = deriveSeed(spec.BaseSeed, j)
+							jobs = append(jobs, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// canonicalOrg maps any accepted organization spec (including the "org1"
+// shortcuts) to its canonical form, so equivalent specs share cache keys.
+func canonicalOrg(spec string) (string, error) {
+	org, err := system.ParseOrganization(spec)
+	if err != nil {
+		return "", err
+	}
+	return system.Format(org), nil
+}
+
+// loadGrids resolves the offered-traffic axis per organization: either the
+// explicit lambda list (shared), or Points loads ending at MaxFraction × the
+// organization's analytic saturation point maximized over the message axis.
+func loadGrids(spec Spec) ([][]float64, error) {
+	grids := make([][]float64, len(spec.Orgs))
+	if len(spec.Loads.Lambdas) > 0 {
+		for i := range grids {
+			grids[i] = spec.Loads.Lambdas
+		}
+		return grids, nil
+	}
+	// Grid placement always uses the calibrated model, even when the spec
+	// attaches a different (or no) analytic curve to the results: the grid
+	// is a sampling decision, not a modeling claim.
+	opts, _ := ModelOptions("calibrated")
+	for oi, orgSpec := range spec.Orgs {
+		org, err := system.ParseOrganization(orgSpec)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := system.New(org)
+		if err != nil {
+			return nil, err
+		}
+		var sat float64
+		for _, msg := range spec.Messages {
+			m, err := analytic.New(sys, spec.params(msg), opts)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: spec %q: org %q: %v", spec.Name, orgSpec, err)
+			}
+			if s := m.SaturationPoint(1e-6, 1, 1e-3); !math.IsInf(s, 1) && s > sat {
+				sat = s
+			}
+		}
+		if sat == 0 {
+			return nil, fmt.Errorf("sweep: spec %q: org %q has no finite saturation point", spec.Name, orgSpec)
+		}
+		xMax := sat * spec.Loads.MaxFraction
+		grid := make([]float64, spec.Loads.Points)
+		for i := range grid {
+			grid[i] = xMax * float64(i+1) / float64(spec.Loads.Points)
+		}
+		grids[oi] = grid
+	}
+	return grids, nil
+}

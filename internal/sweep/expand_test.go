@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinySpec is a fast grid used across the package tests: 2 patterns ×
+// 2 loads on a 6-node system.
+func tinySpec() Spec {
+	return Spec{
+		Name:     "tiny",
+		Orgs:     []string{"m=4:2x1,2x2"},
+		Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+		Patterns: []string{"uniform", "cluster-local:0.6"},
+		Loads:    Loads{Points: 2, MaxFraction: 0.6},
+		Warmup:   100, Measure: 1000, Drain: 100,
+	}
+}
+
+func TestExpandDeterminism(t *testing.T) {
+	a, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	if len(a) != 4 {
+		t.Fatalf("jobs = %d, want 4 (2 patterns × 2 loads)", len(a))
+	}
+	keys := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for i, j := range a {
+		if j.Index != i {
+			t.Errorf("job %d carries index %d", i, j.Index)
+		}
+		keys[j.Key()] = true
+		seeds[j.SimSeed] = true
+	}
+	if len(keys) != len(a) || len(seeds) != len(a) {
+		t.Errorf("keys/seeds not unique: %d keys, %d seeds for %d jobs", len(keys), len(seeds), len(a))
+	}
+}
+
+func TestExpandOrderAndCoordinates(t *testing.T) {
+	spec := tinySpec()
+	spec.Reps = 2
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 8 {
+		t.Fatalf("jobs = %d, want 8", len(jobs))
+	}
+	// Canonical order: pattern (outer) → load → rep (inner).
+	want := []struct{ p, l, r int }{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1},
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1},
+	}
+	for i, j := range jobs {
+		if j.PatternIndex != want[i].p || j.LoadIndex != want[i].l || j.Rep != want[i].r {
+			t.Errorf("job %d: (pattern,load,rep) = (%d,%d,%d), want (%d,%d,%d)",
+				i, j.PatternIndex, j.LoadIndex, j.Rep, want[i].p, want[i].l, want[i].r)
+		}
+	}
+}
+
+func TestBaseSeedChangesSeedsAndKeys(t *testing.T) {
+	a, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	spec.BaseSeed = 7
+	b, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].SimSeed == b[0].SimSeed {
+		t.Error("different base seeds derived the same simulator seed")
+	}
+	if a[0].Key() == b[0].Key() {
+		t.Error("different base seeds produced the same cache key")
+	}
+	// Everything except seed-derived fields must match.
+	if a[0].Lambda != b[0].Lambda || a[0].Org != b[0].Org {
+		t.Error("base seed changed non-seed job fields")
+	}
+}
+
+func TestCanonicalOrgSharesKeys(t *testing.T) {
+	// "org1" and its explicit spelling must expand to identical jobs, so
+	// cached outcomes are shared between them.
+	mk := func(org string) Spec {
+		s := tinySpec()
+		s.Orgs = []string{org}
+		s.Loads = Loads{Lambdas: []float64{1e-4}}
+		return s
+	}
+	a, err := Expand(mk("org1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(mk("m=8:12x1,16x2,4x3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Key() != b[0].Key() {
+		t.Errorf("org1 key %s != explicit spelling key %s", a[0].Key(), b[0].Key())
+	}
+}
+
+func TestAxisIndicesDoNotAffectKeys(t *testing.T) {
+	// Reordering an axis relabels coordinates but must keep each job's key,
+	// so a reordered spec still hits the cache.
+	spec := tinySpec()
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Patterns = []string{"cluster-local:0.6", "uniform"}
+	swapped, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Job{}
+	for _, j := range jobs {
+		byKey[j.Key()] = j
+	}
+	for _, j := range swapped {
+		orig, ok := byKey[j.Key()]
+		if !ok {
+			t.Fatalf("job %+v has no key match after axis reorder", j)
+		}
+		if orig.Pattern != j.Pattern || orig.Lambda != j.Lambda || orig.SimSeed != j.SimSeed {
+			t.Errorf("key collision across distinct jobs: %+v vs %+v", orig, j)
+		}
+	}
+}
+
+func TestExplicitLambdas(t *testing.T) {
+	spec := tinySpec()
+	spec.Loads = Loads{Lambdas: []float64{1e-4, 2e-4, 3e-4}}
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("jobs = %d, want 6", len(jobs))
+	}
+	for _, j := range jobs {
+		want := spec.Loads.Lambdas[j.LoadIndex]
+		if j.Lambda != want {
+			t.Errorf("job %d: lambda %v, want %v", j.Index, j.Lambda, want)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Orgs = nil },
+		func(s *Spec) { s.Orgs = []string{"m=3:2x1"} },
+		func(s *Spec) { s.Patterns = []string{"nope"} },
+		func(s *Spec) { s.Patterns = []string{"hotspot:1.5"} },
+		func(s *Spec) { s.Routing = []string{"leftwards"} },
+		func(s *Spec) { s.Loads = Loads{} },
+		func(s *Spec) { s.Loads = Loads{Lambdas: []float64{-1}} },
+		func(s *Spec) { s.Model = "astrology" },
+		func(s *Spec) { s.Messages = []MessageGeometry{{Flits: 0, FlitBytes: 256}} },
+	}
+	for i, mutate := range bad {
+		spec := tinySpec()
+		mutate(&spec)
+		if _, err := Expand(spec); err == nil {
+			t.Errorf("case %d: expansion of invalid spec succeeded", i)
+		}
+	}
+}
+
+func TestValidateRawSpecDoesNotPanic(t *testing.T) {
+	// Validate on a raw, un-Normalized spec (empty Messages relying on the
+	// documented default) must report an error, not panic.
+	raw := Spec{
+		Orgs:   []string{"org1"},
+		Loads:  Loads{Points: 4},
+		Warmup: 100, Measure: 1000, Drain: 100,
+	}
+	if err := raw.Validate(); err == nil {
+		t.Error("raw spec with no messages validated cleanly")
+	}
+	if err := raw.Normalized().Validate(); err != nil {
+		t.Errorf("normalized spec failed validation: %v", err)
+	}
+}
+
+func TestParsePatternForms(t *testing.T) {
+	for _, ok := range []string{"uniform", "hotspot:0.05", "cluster-local:0.6"} {
+		if _, err := ParsePattern(ok); err != nil {
+			t.Errorf("%q: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"uniform:0.5", "hotspot", "hotspot:x", "cluster-local:2"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestBuiltinSpecsExpand(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		spec, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+		jobs, err := Expand(spec)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(jobs) == 0 {
+			t.Errorf("%s: empty grid", name)
+		}
+	}
+	if _, ok := Builtin("no-such"); ok {
+		t.Error("unknown builtin resolved")
+	}
+}

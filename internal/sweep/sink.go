@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Sink receives sweep results. The engine calls Write sequentially and in
+// job order, so implementations need no locking.
+type Sink interface {
+	Write(Result) error
+}
+
+// CSVHeader is the column list of the CSV sink.
+var CSVHeader = []string{
+	"index", "org", "flits", "flit_bytes", "pattern", "routing",
+	"lambda", "rep", "sim_seed", "key",
+	"analysis", "analysis_saturated",
+	"sim_latency", "sim_source_wait", "sim_pout", "delivered", "truncated",
+}
+
+// CSVSink streams results as CSV rows (RFC 4180 quoting: organization specs
+// contain commas). Output is deterministic: floats use the shortest exact
+// decimal representation and NaN prints as "NaN".
+type CSVSink struct {
+	w      *csv.Writer
+	headed bool
+}
+
+// NewCSVSink wraps w in a buffered CSV sink. Call Flush when the sweep is
+// done.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: csv.NewWriter(w)} }
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(r Result) error {
+	if !s.headed {
+		s.headed = true
+		if err := s.w.Write(CSVHeader); err != nil {
+			return err
+		}
+	}
+	j := r.Job
+	return s.w.Write([]string{
+		strconv.Itoa(j.Index), j.Org, strconv.Itoa(j.Flits), strconv.Itoa(j.FlitBytes),
+		j.Pattern, j.Routing,
+		formatFloat(j.Lambda), strconv.Itoa(j.Rep), strconv.FormatUint(j.SimSeed, 10), j.Key()[:12],
+		formatFloat(float64(r.Analysis)), strconv.FormatBool(r.AnalysisSaturated),
+		formatFloat(float64(r.SimLatency)), formatFloat(float64(r.SimSourceWait)),
+		formatFloat(float64(r.SimPOut)), strconv.Itoa(r.Delivered), strconv.FormatBool(r.Truncated),
+	})
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// JSONLSink streams results as one JSON object per line.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink wraps w in a buffered JSONL sink. Call Flush when the sweep
+// is done.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: bufio.NewWriter(w)} }
+
+// Write implements Sink.
+func (s *JSONLSink) Write(r Result) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	return s.w.WriteByte('\n')
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }
+
+// MemorySink collects every result in job order, for callers (like the
+// experiments package) that post-process a sweep in memory.
+type MemorySink struct {
+	Results []Result
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(r Result) error {
+	s.Results = append(s.Results, r)
+	return nil
+}

@@ -74,3 +74,22 @@ func ParseOrganization(spec string) (Organization, error) {
 	}
 	return org, nil
 }
+
+// Format renders an organization in the canonical ParseOrganization syntax,
+// so that ParseOrganization(Format(org)) materializes an identical system.
+// The organization's display name is not representable and is dropped; rate
+// factors of 0 and 1 (both meaning "nominal rate") are omitted.
+func Format(org Organization) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d:", org.Ports)
+	for i, spec := range org.Specs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dx%d", spec.Count, spec.Levels)
+		if spec.RateFactor != 0 && spec.RateFactor != 1 {
+			fmt.Fprintf(&b, "@%g", spec.RateFactor)
+		}
+	}
+	return b.String()
+}

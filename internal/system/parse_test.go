@@ -21,6 +21,45 @@ func TestParseOrganizationShortcuts(t *testing.T) {
 	}
 }
 
+func TestFormatRoundTrip(t *testing.T) {
+	orgs := []Organization{
+		Table1Org1(),
+		Table1Org2(),
+		{Ports: 4, Specs: []ClusterSpec{
+			{Count: 4, Levels: 2, RateFactor: 2},
+			{Count: 4, Levels: 2},
+		}},
+		{Ports: 4, Specs: []ClusterSpec{
+			{Count: 2, Levels: 1, RateFactor: 0.5},
+			{Count: 3, Levels: 3, RateFactor: 1},
+		}},
+	}
+	for _, org := range orgs {
+		spec := Format(org)
+		got, err := ParseOrganization(spec)
+		if err != nil {
+			t.Fatalf("Format(%+v) = %q does not parse back: %v", org, spec, err)
+		}
+		// Rate factors 0 and 1 both mean nominal rate; normalize before
+		// comparing shapes.
+		norm := func(o Organization) Organization {
+			o.Name = ""
+			specs := make([]ClusterSpec, len(o.Specs))
+			copy(specs, o.Specs)
+			for i := range specs {
+				if specs[i].RateFactor == 0 {
+					specs[i].RateFactor = 1
+				}
+			}
+			o.Specs = specs
+			return o
+		}
+		if a, b := norm(got), norm(org); !reflect.DeepEqual(a, b) {
+			t.Errorf("round trip of %q: got %+v, want %+v", spec, a, b)
+		}
+	}
+}
+
 func TestParseOrganizationFull(t *testing.T) {
 	got, err := ParseOrganization("m=8:12x1,16x2,4x3")
 	if err != nil {

@@ -1,0 +1,51 @@
+package mcnet
+
+import (
+	"mcnet/internal/sweep"
+	"mcnet/internal/system"
+)
+
+// Re-exported parameter-sweep types. A Sweep describes a grid of
+// (organization × message geometry × traffic pattern × routing policy ×
+// offered load × seed) simulations; a SweepEngine executes it concurrently
+// with deterministic seeding, content-hash caching and ordered streaming
+// output. See cmd/mcsweep for the file-driven front end.
+type (
+	// Sweep is a declarative parameter-sweep specification.
+	Sweep = sweep.Spec
+	// SweepLoads is the offered-traffic axis of a sweep.
+	SweepLoads = sweep.Loads
+	// SweepMessage is one point of the message-geometry axis.
+	SweepMessage = sweep.MessageGeometry
+	// SweepJob is one fully resolved simulation of the expanded grid.
+	SweepJob = sweep.Job
+	// SweepResult is one emitted row: job, analytic prediction, simulation.
+	SweepResult = sweep.Result
+	// SweepEngine runs a sweep on a bounded worker pool.
+	SweepEngine = sweep.Engine
+	// SweepSummary totals an engine run.
+	SweepSummary = sweep.Summary
+	// SweepSink receives results in job order (CSV, JSONL or in-memory).
+	SweepSink = sweep.Sink
+	// SweepMemorySink collects results in memory, in job order.
+	SweepMemorySink = sweep.MemorySink
+	// SweepCache stores simulation outcomes by content hash.
+	SweepCache = sweep.Cache
+)
+
+// Re-exported sweep constructors.
+var (
+	// ExpandSweep expands a spec into its deterministic job grid.
+	ExpandSweep = sweep.Expand
+	// BuiltinSweep resolves a named predefined sweep (the paper's figure
+	// panels and a demo grid).
+	BuiltinSweep = sweep.Builtin
+	// NewSweepCache opens a disk-backed outcome cache.
+	NewSweepCache = sweep.NewDirCache
+	// NewSweepCSVSink and NewSweepJSONLSink stream results to a writer.
+	NewSweepCSVSink   = sweep.NewCSVSink
+	NewSweepJSONLSink = sweep.NewJSONLSink
+	// FormatOrganization renders an organization in the canonical
+	// ParseOrganization syntax (the form sweep specs use).
+	FormatOrganization = system.Format
+)
