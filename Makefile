@@ -1,6 +1,10 @@
 GO ?= go
+# Benchmark artifacts are labeled with the revision they measure; a dirty
+# working tree gets a -dirty suffix so numbers are never attributed to a
+# commit they don't correspond to.
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)$(shell test -z "$$(git status --porcelain 2>/dev/null)" || echo -dirty)
 
-.PHONY: all build test vet bench cover clean
+.PHONY: all build test race vet bench bench-all cover clean
 
 all: build test
 
@@ -13,7 +17,22 @@ vet:
 test: vet
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# bench runs the cross-layer hot-path benchmarks (internal/bench) and writes
+# the raw `go test -json` stream to BENCH_<rev>.json at the repo root. Each
+# line is one test2json event; the benchmark results are the "Output" events
+# whose payload ends in ns/op. Compare two revisions with benchstat or by
+# diffing those lines.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 -json ./internal/bench > BENCH_$(REV).json
+	@grep -oE '"Output":"[^"]*(Benchmark|ns/op)[^"]*"' BENCH_$(REV).json | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n$$//' | paste - -
+	@echo wrote BENCH_$(REV).json
+
+# bench-all additionally runs every per-package benchmark in the repo
+# (slower; not part of the regression artifact).
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 cover:

@@ -22,8 +22,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,28 +34,52 @@ import (
 	"mcnet/internal/sweep"
 )
 
+// errBadFlags reports a flag-parsing failure whose details the FlagSet has
+// already written to stderr.
+var errBadFlags = errors.New("invalid arguments")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errBadFlags) {
+			fmt.Fprintf(os.Stderr, "mcsweep: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind main, factored out so tests can drive flag
+// handling and execution directly.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mcsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		specArg   = flag.String("spec", "", "spec file (JSON) or builtin name: "+strings.Join(sweep.BuiltinNames(), "|"))
-		out       = flag.String("out", "results", "output directory (CSV, JSONL, cache)")
-		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		resume    = flag.Bool("resume", false, "reuse cached job outcomes from a previous run")
-		dryRun    = flag.Bool("dry-run", false, "print the expanded job grid and exit")
-		printSpec = flag.Bool("print-spec", false, "print the normalized spec as JSON and exit")
-		warmup    = flag.Int("warmup", -1, "override spec warmup message count")
-		measure   = flag.Int("measure", -1, "override spec measure message count")
-		drain     = flag.Int("drain", -1, "override spec drain message count")
-		seed      = flag.Uint64("seed", 0, "override spec base seed")
-		reps      = flag.Int("reps", 0, "override spec replications per point")
+		specArg   = fs.String("spec", "", "spec file (JSON) or builtin name: "+strings.Join(sweep.BuiltinNames(), "|"))
+		out       = fs.String("out", "results", "output directory (CSV, JSONL, cache)")
+		workers   = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		resume    = fs.Bool("resume", false, "reuse cached job outcomes from a previous run")
+		dryRun    = fs.Bool("dry-run", false, "print the expanded job grid and exit")
+		printSpec = fs.Bool("print-spec", false, "print the normalized spec as JSON and exit")
+		warmup    = fs.Int("warmup", -1, "override spec warmup message count")
+		measure   = fs.Int("measure", -1, "override spec measure message count")
+		drain     = fs.Int("drain", -1, "override spec drain message count")
+		seed      = fs.Uint64("seed", 0, "override spec base seed")
+		reps      = fs.Int("reps", 0, "override spec replications per point")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		// The FlagSet already printed the error and usage to stderr; don't
+		// repeat the message.
+		return errBadFlags
+	}
 	if *specArg == "" {
-		fatalf("missing -spec (a JSON file or one of: %s)", strings.Join(sweep.BuiltinNames(), ", "))
+		return fmt.Errorf("missing -spec (a JSON file or one of: %s)", strings.Join(sweep.BuiltinNames(), ", "))
 	}
 
 	spec, err := loadSpec(*specArg)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if *warmup >= 0 {
 		spec.Warmup = *warmup
@@ -75,34 +101,34 @@ func main() {
 	if *printSpec {
 		b, err := json.MarshalIndent(spec, "", "  ")
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Println(string(b))
-		return
+		fmt.Fprintln(stdout, string(b))
+		return nil
 	}
 
 	jobs, err := sweep.Expand(spec)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if *dryRun {
-		fmt.Printf("sweep %q expands to:\n%s", spec.Name, sweep.FormatGrid(jobs))
-		return
+		fmt.Fprintf(stdout, "sweep %q expands to:\n%s", spec.Name, sweep.FormatGrid(jobs))
+		return nil
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatalf("creating -out: %v", err)
+		return fmt.Errorf("creating -out: %v", err)
 	}
 	cache, err := sweep.NewDirCache(filepath.Join(*out, "cache"))
 	if err != nil {
-		fatalf("opening cache: %v", err)
+		return fmt.Errorf("opening cache: %v", err)
 	}
 	if !*resume {
 		// Invalidate only this grid's entries: other specs sharing the
 		// output directory keep their cached outcomes.
 		for _, j := range jobs {
 			if err := cache.Delete(j.Key()); err != nil {
-				fatalf("clearing cache: %v", err)
+				return fmt.Errorf("clearing cache: %v", err)
 			}
 		}
 	}
@@ -110,12 +136,12 @@ func main() {
 	jsonlPath := filepath.Join(*out, spec.Name+".jsonl")
 	csvFile, err := os.Create(csvPath)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer csvFile.Close()
 	jsonlFile, err := os.Create(jsonlPath)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer jsonlFile.Close()
 	csvSink := sweep.NewCSVSink(csvFile)
@@ -127,23 +153,24 @@ func main() {
 		Cache:   cache,
 		Sinks:   []sweep.Sink{csvSink, jsonlSink},
 		Progress: func(p sweep.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d jobs (%d cache hits)", p.Done, p.Total, p.CacheHits)
+			fmt.Fprintf(stderr, "\r%d/%d jobs (%d cache hits)", p.Done, p.Total, p.CacheHits)
 		},
 	}
 	sum, err := eng.RunJobs(spec, jobs)
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(stderr)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	if err := csvSink.Flush(); err != nil {
-		fatalf("flushing %s: %v", csvPath, err)
+		return fmt.Errorf("flushing %s: %v", csvPath, err)
 	}
 	if err := jsonlSink.Flush(); err != nil {
-		fatalf("flushing %s: %v", jsonlPath, err)
+		return fmt.Errorf("flushing %s: %v", jsonlPath, err)
 	}
-	fmt.Printf("sweep %q: %d jobs, %d executed, %d cache hits in %v\n",
+	fmt.Fprintf(stdout, "sweep %q: %d jobs, %d executed, %d cache hits in %v\n",
 		spec.Name, sum.Total, sum.Executed, sum.CacheHits, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("wrote %s\nwrote %s\n", csvPath, jsonlPath)
+	fmt.Fprintf(stdout, "wrote %s\nwrote %s\n", csvPath, jsonlPath)
+	return nil
 }
 
 // loadSpec resolves the -spec argument: a readable file is parsed as JSON,
@@ -166,9 +193,4 @@ func loadSpec(arg string) (sweep.Spec, error) {
 	}
 	return sweep.Spec{}, fmt.Errorf("spec %q: no such file or builtin (builtins: %s)",
 		arg, strings.Join(sweep.BuiltinNames(), ", "))
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "mcsweep: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcnet/internal/sweep"
+)
+
+// tinySpecFile writes a minimal fast sweep spec and returns its path.
+func tinySpecFile(t *testing.T, dir string) string {
+	t.Helper()
+	spec := sweep.Spec{
+		Name:   "tiny",
+		Orgs:   []string{"m=4:2x1"},
+		Loads:  sweep.Loads{Lambdas: []float64{1e-4}},
+		Warmup: 10, Measure: 60, Drain: 10,
+		Model: "none",
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagHandling(t *testing.T) {
+	dir := t.TempDir()
+	specPath := tinySpecFile(t, dir)
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the returned error ("" = success)
+		wantOut string // substring of stdout
+	}{
+		{
+			name:    "missing spec",
+			args:    nil,
+			wantErr: "missing -spec",
+		},
+		{
+			name:    "unknown builtin",
+			args:    []string{"-spec", "no-such-sweep"},
+			wantErr: "no such file or builtin",
+		},
+		{
+			name:    "malformed spec file",
+			args:    []string{"-spec", badJSON},
+			wantErr: "parsing",
+		},
+		{
+			name:    "bad flag",
+			args:    []string{"-definitely-not-a-flag"},
+			wantErr: "invalid arguments",
+		},
+		{
+			name:    "invalid spec contents",
+			args:    []string{"-spec", "fig3-m32", "-measure", "0", "-dry-run"},
+			wantErr: "measure phase must be positive",
+		},
+		{
+			name: "help exits cleanly",
+			args: []string{"-h"},
+		},
+		{
+			name:    "dry run builtin",
+			args:    []string{"-spec", "fig3-m32", "-dry-run"},
+			wantOut: `sweep "fig3-m32" expands to:`,
+		},
+		{
+			name:    "dry run counts jobs",
+			args:    []string{"-spec", "fig3-m32", "-dry-run"},
+			wantOut: "20 jobs",
+		},
+		{
+			name:    "print spec applies overrides",
+			args:    []string{"-spec", specPath, "-print-spec", "-measure", "123", "-seed", "9", "-reps", "2"},
+			wantOut: `"measure": 123`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("run(%v) error = %v, want substring %q", tc.args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v): %v\nstderr: %s", tc.args, err, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("run(%v) stdout = %q, want substring %q", tc.args, stdout.String(), tc.wantOut)
+			}
+		})
+	}
+}
+
+// TestRunExecuteAndResume runs a tiny sweep end to end, then resumes it and
+// checks the second pass is pure cache hits with byte-identical output.
+func TestRunExecuteAndResume(t *testing.T) {
+	dir := t.TempDir()
+	specPath := tinySpecFile(t, dir)
+	out := filepath.Join(dir, "results")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-out", out, "-workers", "2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "1 executed, 0 cache hits") {
+		t.Fatalf("first run summary = %q, want 1 executed / 0 hits", stdout.String())
+	}
+	csv1, err := os.ReadFile(filepath.Join(out, "tiny.csv"))
+	if err != nil {
+		t.Fatalf("first run wrote no CSV: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "tiny.jsonl")); err != nil {
+		t.Fatalf("first run wrote no JSONL: %v", err)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-spec", specPath, "-out", out, "-resume"}, &stdout, &stderr); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "0 executed, 1 cache hits") {
+		t.Fatalf("resume summary = %q, want 0 executed / 1 hit", stdout.String())
+	}
+	csv2, err := os.ReadFile(filepath.Join(out, "tiny.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatalf("resumed CSV differs from original:\n--- first ---\n%s--- resumed ---\n%s", csv1, csv2)
+	}
+
+	// Without -resume the grid's cache entries are invalidated and re-run.
+	stdout.Reset()
+	if err := run([]string{"-spec", specPath, "-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "1 executed, 0 cache hits") {
+		t.Fatalf("re-run summary = %q, want fresh execution", stdout.String())
+	}
+}

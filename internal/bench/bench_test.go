@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+
+	"mcnet/internal/des"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/rng"
+	"mcnet/internal/sweep"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+	"mcnet/internal/wormhole"
+)
+
+// BenchmarkDESScheduleRun measures raw future-event-list churn: a pool of
+// self-rescheduling timers, the dominant access pattern of the simulator
+// (every executed event schedules roughly one successor).
+func BenchmarkDESScheduleRun(b *testing.B) {
+	const timers = 256
+	b.ReportAllocs()
+	var s des.Scheduler
+	src := rng.New(1)
+	var tick func()
+	tick = func() { s.After(src.Exp(1), tick) }
+	for i := 0; i < timers; i++ {
+		s.At(src.Float64(), tick)
+	}
+	b.ResetTimer()
+	s.RunAll(uint64(b.N))
+}
+
+// callHandler is a self-rescheduling fast-path handler.
+type callHandler struct {
+	s   *des.Scheduler
+	h   des.HandlerID
+	src *rng.Source
+}
+
+func (c *callHandler) HandleEvent(op, arg int32) {
+	c.s.Call(c.s.Now()+c.src.Exp(1), c.h, op, arg)
+}
+
+// BenchmarkDESCall measures the same churn through the allocation-free
+// Call/Register fast path the simulation engines use.
+func BenchmarkDESCall(b *testing.B) {
+	const timers = 256
+	b.ReportAllocs()
+	var s des.Scheduler
+	c := &callHandler{s: &s, src: rng.New(1)}
+	c.h = s.Register(c)
+	for i := int32(0); i < timers; i++ {
+		s.Call(c.src.Float64(), c.h, 0, i)
+	}
+	b.ResetTimer()
+	s.RunAll(uint64(b.N))
+}
+
+// BenchmarkWormholeLine streams worms down an 8-hop line with enough
+// injection pressure to keep every channel contended, exercising the
+// grant/advance/release cycle and the FIFO arbiter.
+func BenchmarkWormholeLine(b *testing.B) {
+	const hops = 8
+	b.ReportAllocs()
+	var s des.Scheduler
+	flits := make([]float64, hops)
+	for i := range flits {
+		flits[i] = 1
+	}
+	net := wormhole.New(&s, flits)
+	path := make([]int32, hops)
+	for i := range path {
+		path[i] = int32(i)
+	}
+	free := make([]*wormhole.Worm, 0, 4)
+	var id uint64
+	var inject func(w *wormhole.Worm)
+	inject = func(w *wormhole.Worm) {
+		id++
+		w.Reset(id, path, 16, inject)
+		net.Inject(w)
+	}
+	for i := 0; i < cap(free); i++ {
+		inject(&wormhole.Worm{})
+	}
+	b.ResetTimer()
+	s.RunAll(uint64(b.N))
+}
+
+// benchConfig is one mid-load point of the paper's first organization
+// (N=1120 nodes), the simulator's production workload shape.
+func benchConfig(measure int) mcsim.Config {
+	return mcsim.Config{
+		Org:     system.Table1Org1(),
+		Par:     units.Default(),
+		LambdaG: 0.00032298, // ≈60% of the analytic saturation load
+		Warmup:  measure / 10,
+		Measure: measure,
+		Drain:   measure / 10,
+		Seed:    7,
+	}
+}
+
+// BenchmarkMcsimOrg1 runs the whole-system simulator end to end; ns/op is
+// dominated by the per-message hot path (routing, injection, channel events,
+// measurement).
+func BenchmarkMcsimOrg1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcsim.Run(benchConfig(4000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepFigure runs the builtin Figure 3 (M=32) grid — 20 jobs over
+// two message geometries and ten loads — at workers=1 and reduced measurement
+// scale. This is the end-to-end number the ≥2× speedup target of the hot-path
+// overhaul is judged against.
+func BenchmarkSweepFigure(b *testing.B) {
+	spec, ok := sweep.Builtin("fig3-m32")
+	if !ok {
+		b.Fatal("builtin fig3-m32 missing")
+	}
+	spec.Warmup, spec.Measure, spec.Drain = 200, 2000, 200
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := &sweep.Engine{Workers: 1}
+		if _, err := eng.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,19 +7,51 @@
 // produces bit-identical results on every run. The engine is single-threaded
 // by design (a DES has one global clock); parallelism lives one level up, in
 // the replication runner.
+//
+// # Hot path
+//
+// The future-event list is an index-addressed binary heap over concrete
+// 32-byte event structs stored in one slice. The struct is deliberately
+// pointer-free — callbacks are registered Handler IDs and payloads are
+// caller-managed integer indices — so sift-up/down is a plain value copy
+// with no per-event allocation, no interface boxing and no GC write
+// barriers. Two scheduling APIs feed the heap:
+//
+//   - Call(t, h, op, arg) is the allocation-free fast path: h names a
+//     Handler registered once via Register, op discriminates the event kind
+//     and arg carries a small integer payload (a channel, node or pool-slot
+//     index). Simulation engines (wormhole, mcsim) dispatch all of their
+//     per-message traffic through it.
+//
+//   - At(t, fn) / After(d, fn) is the ergonomic closure path. It allocates
+//     one small handle per event (which is also what makes Cancel possible)
+//     and is meant for setup, tests and low-rate callers.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
 
-// Event is a scheduled callback. Cancelled events stay in the heap but are
-// skipped when popped (lazy deletion), which keeps cancellation O(1).
+// Handler receives fast-path events. One Handler (typically the simulation
+// engine itself) serves many event kinds, discriminated by op; arg carries a
+// small integer payload such as a channel, node or pool-slot index.
+type Handler interface {
+	HandleEvent(op, arg int32)
+}
+
+// HandlerID names a Handler registered with a Scheduler.
+type HandlerID int32
+
+// closureHandler marks heap slots whose callback is a closure handle (the
+// At/After path); arg then indexes the scheduler's handle table.
+const closureHandler HandlerID = -1
+
+// Event is the handle of a closure-scheduled callback. Cancelled events stay
+// in the heap but are skipped when popped (lazy deletion), which keeps
+// cancellation O(1).
 type Event struct {
 	time     float64
-	seq      uint64
 	fn       func()
 	canceled bool
 }
@@ -34,25 +66,22 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Time returns the simulated time at which the event fires.
 func (e *Event) Time() float64 { return e.time }
 
-// eventHeap orders events by time, breaking ties by insertion sequence.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// event is one heap slot: 32 pointer-free bytes.
+type event struct {
+	time float64
+	seq  uint64
+	h    HandlerID
+	op   int32
+	arg  int32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// before is the heap order: time, with insertion sequence as the stable
+// FIFO tie-break.
+func (e *event) before(o *event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
 }
 
 // Scheduler owns the simulation clock and the future-event list. The zero
@@ -60,8 +89,15 @@ func (h *eventHeap) Pop() interface{} {
 type Scheduler struct {
 	now      float64
 	seq      uint64
-	events   eventHeap
+	events   []event
 	executed uint64
+
+	handlers []Handler
+	// handles and freeHandles form the side table of in-flight closure
+	// events: slots are reused so a steady closure load allocates only the
+	// *Event handles themselves.
+	handles     []*Event
+	freeHandles []int32
 }
 
 // Now returns the current simulated time.
@@ -74,20 +110,55 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 // Executed returns the number of events executed so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
+// Register adds a fast-path handler and returns its ID. Handlers are
+// registered once at construction time and never removed.
+func (s *Scheduler) Register(h Handler) HandlerID {
+	s.handlers = append(s.handlers, h)
+	return HandlerID(len(s.handlers) - 1)
+}
+
 // ErrPastEvent reports an attempt to schedule an event before the current
 // simulated time.
 var ErrPastEvent = errors.New("des: event scheduled in the past")
 
-// At schedules fn at absolute time t and returns the event handle.
-// It panics if t precedes the current time or is not a finite number:
-// scheduling into the past is always a programming error in the caller.
-func (s *Scheduler) At(t float64, fn func()) *Event {
+// checkTime panics on past or non-finite times: scheduling into the past is
+// always a programming error in the caller.
+func (s *Scheduler) checkTime(t float64) {
 	if t < s.now || math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(ErrPastEvent)
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
+}
+
+// Call schedules handlers[h].HandleEvent(op, arg) at absolute time t. This
+// is the allocation-free fast path; no handle is returned (fast-path events
+// cannot be cancelled).
+func (s *Scheduler) Call(t float64, h HandlerID, op, arg int32) {
+	s.checkTime(t)
+	s.push(event{time: t, seq: s.seq, h: h, op: op, arg: arg})
 	s.seq++
-	heap.Push(&s.events, e)
+}
+
+// CallAfter schedules handlers[h].HandleEvent(op, arg) after delay d.
+func (s *Scheduler) CallAfter(d float64, h HandlerID, op, arg int32) {
+	s.Call(s.now+d, h, op, arg)
+}
+
+// At schedules fn at absolute time t and returns the event handle.
+// It panics if t precedes the current time or is not a finite number.
+func (s *Scheduler) At(t float64, fn func()) *Event {
+	s.checkTime(t)
+	e := &Event{time: t, fn: fn}
+	var slot int32
+	if n := len(s.freeHandles); n > 0 {
+		slot = s.freeHandles[n-1]
+		s.freeHandles = s.freeHandles[:n-1]
+		s.handles[slot] = e
+	} else {
+		slot = int32(len(s.handles))
+		s.handles = append(s.handles, e)
+	}
+	s.push(event{time: t, seq: s.seq, h: closureHandler, arg: slot})
+	s.seq++
 	return e
 }
 
@@ -96,17 +167,78 @@ func (s *Scheduler) After(d float64, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// takeHandle detaches and returns the closure handle of slot.
+func (s *Scheduler) takeHandle(slot int32) *Event {
+	e := s.handles[slot]
+	s.handles[slot] = nil
+	s.freeHandles = append(s.freeHandles, slot)
+	return e
+}
+
+// push appends the event and restores the heap by sifting it up.
+func (s *Scheduler) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.events[parent].before(&e) {
+			break
+		}
+		s.events[i] = s.events[parent]
+		i = parent
+	}
+	s.events[i] = e
+}
+
+// pop removes and returns the minimum event. The caller guarantees the heap
+// is non-empty.
+func (s *Scheduler) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	s.events = h
+	if n > 0 {
+		// Sift `last` down from the root along the smaller-child path.
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && h[r].before(&h[c]) {
+				c = r
+			}
+			if !h[c].before(&last) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return top
+}
+
 // Step executes the next non-cancelled event and returns true, or returns
 // false if the future-event list is empty.
 func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.canceled {
-			continue
+		e := s.pop()
+		if e.h == closureHandler {
+			handle := s.takeHandle(e.arg)
+			if handle.canceled {
+				continue
+			}
+			s.now = e.time
+			s.executed++
+			handle.fn()
+			return true
 		}
 		s.now = e.time
 		s.executed++
-		e.fn()
+		s.handlers[e.h].HandleEvent(e.op, e.arg)
 		return true
 	}
 	return false
@@ -122,11 +254,11 @@ func (s *Scheduler) Run(until float64, maxEvents uint64) StopReason {
 			return StoppedEventLimit
 		}
 		// Peek for the time-horizon check without disturbing the heap.
-		next := s.peek()
-		if next == nil {
+		t, ok := s.peek()
+		if !ok {
 			return StoppedEmpty
 		}
-		if next.time > until {
+		if t > until {
 			return StoppedHorizon
 		}
 		s.Step()
@@ -139,16 +271,17 @@ func (s *Scheduler) RunAll(maxEvents uint64) StopReason {
 	return s.Run(math.Inf(1), maxEvents)
 }
 
-// peek returns the next non-cancelled event without executing it, discarding
+// peek returns the firing time of the next non-cancelled event, discarding
 // cancelled events it encounters.
-func (s *Scheduler) peek() *Event {
+func (s *Scheduler) peek() (float64, bool) {
 	for len(s.events) > 0 {
-		if e := s.events[0]; !e.canceled {
-			return e
+		e := &s.events[0]
+		if e.h != closureHandler || !s.handles[e.arg].canceled {
+			return e.time, true
 		}
-		heap.Pop(&s.events)
+		s.takeHandle(s.pop().arg)
 	}
-	return nil
+	return 0, false
 }
 
 // StopReason describes why Run returned.

@@ -106,7 +106,9 @@ type Result struct {
 	Truncated bool
 }
 
-// message tracks one end-to-end message across its segments.
+// message tracks one end-to-end message across its segments. Messages are
+// free-listed across the run: the path buffer and the delivery closure are
+// allocated once per pooled message and reused for every flight.
 type message struct {
 	id       uint64
 	src, dst int // global node ids
@@ -118,7 +120,8 @@ type message struct {
 	sel2     uint64 // ICN2 route selector (random mode only)
 	sel3     uint64 // ECN1 descent root selector
 	worm     wormhole.Worm
-	sim      *Sim
+	pathBuf  []int32
+	onDone   func(*wormhole.Worm)
 }
 
 // clusterNets holds the channel-table offsets of one cluster's networks.
@@ -128,6 +131,9 @@ type clusterNets struct {
 	rootUpBase   int32 // ECN1 root → concentrator links, indexed by root
 	rootDownBase int32 // concentrator → ECN1 root links, indexed by root
 	router       routing.Router
+	// table precomputes the cluster tree's routes; clusters sharing a shape
+	// share one table.
+	table *routing.Table
 }
 
 // Sim is a fully built simulation instance. Create with New, run with Run.
@@ -135,16 +141,25 @@ type Sim struct {
 	cfg   Config
 	sys   *system.System
 	sched des.Scheduler
+	hid   des.HandlerID
 	net   *wormhole.Network
 
 	clusters []clusterNets
 	icn2Base int32
 	icn2R    routing.Router
+	icn2Tab  *routing.Table
 
-	pattern  traffic.Pattern
-	nodeRNG  []*rng.Source
-	genCount int
-	genCap   int
+	pattern traffic.Pattern
+	// nodeRNG is one contiguous arena of per-node random streams.
+	nodeRNG []rng.Source
+	// rates[n] is node n's Poisson generation rate; nodeCl/nodeLocal are the
+	// precomputed ClusterOf maps (the per-message hot path does four such
+	// lookups).
+	rates     []float64
+	nodeCl    []int32
+	nodeLocal []int32
+	genCount  int
+	genCap    int
 
 	latency      stats.Running
 	intraLatency stats.Running
@@ -212,15 +227,32 @@ func New(cfg Config) (*Sim, error) {
 	s.icn2Base = appendTree(sys.ICN2, true)
 	s.icn2R = routing.Router{T: sys.ICN2, Mode: cfg.RoutingMode}
 	s.net = wormhole.New(&s.sched, flits)
+	s.hid = s.sched.Register(s)
+
+	// Attach the process-shared precomputed route tables (one per distinct
+	// tree shape and routing mode; Table 1's organizations have at most
+	// three shapes).
+	for i := range s.clusters {
+		cn := &s.clusters[i]
+		cn.table = routing.SharedTable(cn.router)
+	}
+	s.icn2Tab = routing.SharedTable(s.icn2R)
 
 	if cfg.Pattern != nil {
 		s.pattern = cfg.Pattern(sys)
 	} else {
 		s.pattern = traffic.Uniform{N: sys.TotalNodes()}
 	}
-	s.nodeRNG = make([]*rng.Source, sys.TotalNodes())
+	s.nodeRNG = make([]rng.Source, sys.TotalNodes())
+	s.rates = make([]float64, sys.TotalNodes())
+	s.nodeCl = make([]int32, sys.TotalNodes())
+	s.nodeLocal = make([]int32, sys.TotalNodes())
 	for n := range s.nodeRNG {
-		s.nodeRNG[n] = rng.NewStream(cfg.Seed, uint64(n))
+		s.nodeRNG[n].ReseedStream(cfg.Seed, uint64(n))
+		ci, local := sys.ClusterOf(n)
+		s.nodeCl[n] = int32(ci)
+		s.nodeLocal[n] = int32(local)
+		s.rates[n] = cfg.LambdaG * sys.Clusters[ci].RateFactor
 	}
 	s.perCluster = make([]stats.Running, sys.C())
 	s.genCap = cfg.Warmup + cfg.Measure + cfg.Drain
@@ -246,16 +278,21 @@ func hash64(x uint64) uint64 {
 // measurement phase.
 var ErrTruncated = errors.New("mcsim: event budget exhausted before measurement completed")
 
+// opGenerate is the Sim's single des.Handler event kind: node arg generates
+// its next message. Generation shares the scheduler's allocation-free fast
+// path with the wormhole engine.
+const opGenerate int32 = 0
+
+// HandleEvent implements des.Handler.
+func (s *Sim) HandleEvent(op, arg int32) { s.generate(int(arg)) }
+
 // Run executes the simulation to completion and returns the measurements.
 // The returned error is non-nil only for truncated runs; the Result is
 // meaningful (partial) in that case too.
 func (s *Sim) Run() (Result, error) {
 	// Prime every node's first generation event.
 	for n := 0; n < s.sys.TotalNodes(); n++ {
-		node := n
-		ci, _ := s.sys.ClusterOf(node)
-		rate := s.cfg.LambdaG * s.sys.Clusters[ci].RateFactor
-		s.sched.At(s.nodeRNG[node].Exp(rate), func() { s.generate(node, rate) })
+		s.sched.Call(s.nodeRNG[n].Exp(s.rates[n]), s.hid, opGenerate, int32(n))
 	}
 	maxEvents := s.cfg.MaxEvents
 	if maxEvents == 0 {
@@ -302,21 +339,20 @@ func (s *Sim) Run() (Result, error) {
 
 // generate creates one message at `node` and schedules the node's next
 // generation while the global budget lasts.
-func (s *Sim) generate(node int, rate float64) {
+func (s *Sim) generate(node int) {
 	if s.genCount >= s.genCap {
 		return
 	}
-	r := s.nodeRNG[node]
+	r := &s.nodeRNG[node]
 	idx := s.genCount
 	s.genCount++
 
 	m := s.getMessage()
 	m.id = uint64(idx)
-	m.sim = s
 	m.src = node
 	m.dst = s.pattern.Dest(node, r)
-	m.srcCl, _ = s.sys.ClusterOf(m.src)
-	m.dstCl, _ = s.sys.ClusterOf(m.dst)
+	m.srcCl = int(s.nodeCl[m.src])
+	m.dstCl = int(s.nodeCl[m.dst])
 	m.genTime = s.sched.Now()
 	m.measured = idx >= s.cfg.Warmup && idx < s.cfg.Warmup+s.cfg.Measure
 	if s.cfg.RoutingMode == routing.RandomUp {
@@ -329,38 +365,36 @@ func (s *Sim) generate(node int, rate float64) {
 	s.launch(m)
 
 	if s.genCount < s.genCap {
-		s.sched.After(r.Exp(rate), func() { s.generate(node, rate) })
+		s.sched.CallAfter(r.Exp(s.rates[node]), s.hid, opGenerate, int32(node))
 	}
 }
 
-// launch injects a message as a single wormhole worm.
+// launch injects a message as a single wormhole worm. The route is assembled
+// into the message's reused path buffer from the precomputed route tables —
+// no allocation once the free list is warm.
 func (s *Sim) launch(m *message) {
+	path := m.pathBuf[:0]
 	if m.srcCl == m.dstCl {
 		// Intra-cluster: a plain up*/down* journey through ICN1.
 		cn := &s.clusters[m.srcCl]
-		_, srcLocal := s.sys.ClusterOf(m.src)
-		_, dstLocal := s.sys.ClusterOf(m.dst)
-		path := offsetPath(cn.router.Route(srcLocal, dstLocal, m.sel2), cn.icn1Base)
-		m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, func(*wormhole.Worm) { s.deliver(m) })
-		s.net.Inject(&m.worm)
-		return
+		path = cn.table.AppendRoute(path, cn.icn1Base,
+			int(s.nodeLocal[m.src]), int(s.nodeLocal[m.dst]), m.sel2)
+	} else {
+		// Inter-cluster: one merged journey ECN1_i → ICN2 → ECN1_v with
+		// cut-through concentrators (paper §3.3).
+		src := &s.clusters[m.srcCl]
+		dst := &s.clusters[m.dstCl]
+
+		var srcRootY int
+		path, srcRootY = src.table.AppendUpToRoot(path, src.ecn1Base, int(s.nodeLocal[m.src]), m.sel1)
+		path = append(path, src.rootUpBase+int32(srcRootY))
+		path = s.icn2Tab.AppendRoute(path, s.icn2Base, m.srcCl, m.dstCl, m.sel2)
+		dstRootY := dst.table.RootIndex(m.sel3)
+		path = append(path, dst.rootDownBase+int32(dstRootY))
+		path = dst.table.AppendDownFromRoot(path, dst.ecn1Base, dstRootY, int(s.nodeLocal[m.dst]))
 	}
-	// Inter-cluster: one merged journey ECN1_i → ICN2 → ECN1_v with
-	// cut-through concentrators (paper §3.3).
-	src := &s.clusters[m.srcCl]
-	dst := &s.clusters[m.dstCl]
-	_, srcLocal := s.sys.ClusterOf(m.src)
-	_, dstLocal := s.sys.ClusterOf(m.dst)
-
-	up, srcRoot := src.router.UpToRoot(srcLocal, m.sel1)
-	path := offsetPath(up, src.ecn1Base)
-	path = append(path, src.rootUpBase+int32(src.router.T.SwitchIndex(srcRoot)))
-	path = appendOffset(path, s.icn2R.Route(m.srcCl, m.dstCl, m.sel2), s.icn2Base)
-	dstRoot := dst.router.RootFor(m.sel3)
-	path = append(path, dst.rootDownBase+int32(dst.router.T.SwitchIndex(dstRoot)))
-	path = appendOffset(path, dst.router.DownFromRoot(dstRoot, dstLocal), dst.ecn1Base)
-
-	m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, func(*wormhole.Worm) { s.deliver(m) })
+	m.pathBuf = path
+	m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, m.onDone)
 	s.net.Inject(&m.worm)
 }
 
@@ -382,36 +416,22 @@ func (s *Sim) deliver(m *message) {
 	s.putMessage(m)
 }
 
-// getMessage and putMessage recycle message structs (and their worm path
-// buffers) across the run.
+// getMessage and putMessage recycle message structs (and their path buffers,
+// worm acquisition buffers and delivery closures) across the run, so the
+// steady-state per-message allocation count is zero.
 func (s *Sim) getMessage() *message {
 	if n := len(s.freeMsgs); n > 0 {
 		m := s.freeMsgs[n-1]
 		s.freeMsgs = s.freeMsgs[:n-1]
 		return m
 	}
-	return &message{}
+	m := &message{}
+	m.onDone = func(*wormhole.Worm) { s.deliver(m) }
+	return m
 }
 
 func (s *Sim) putMessage(m *message) {
 	s.freeMsgs = append(s.freeMsgs, m)
-}
-
-// offsetPath converts a tree-local route to global channel indices.
-func offsetPath(route []int, base int32) []int32 {
-	path := make([]int32, len(route))
-	for i, c := range route {
-		path[i] = base + int32(c)
-	}
-	return path
-}
-
-// appendOffset appends a tree-local route to an existing global path.
-func appendOffset(path []int32, route []int, base int32) []int32 {
-	for _, c := range route {
-		path = append(path, base+int32(c))
-	}
-	return path
 }
 
 // Run builds and runs a simulation in one call.

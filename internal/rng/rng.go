@@ -45,14 +45,22 @@ func New(seed uint64) *Source {
 // seeding chain, giving fully decorrelated state for every (seed, stream)
 // pair.
 func NewStream(seed, stream uint64) *Source {
+	var src Source
+	src.ReseedStream(seed, stream)
+	return &src
+}
+
+// ReseedStream re-initializes the source in place as the stream-th substream
+// of seed, exactly as NewStream does. It exists so simulators can lay out
+// thousands of per-node sources in one contiguous arena without one heap
+// allocation each.
+func (s *Source) ReseedStream(seed, stream uint64) {
 	state := seed
 	// Mix the stream index through two SplitMix64 rounds so that adjacent
 	// stream numbers do not produce correlated initial states.
 	state ^= splitMix64(&stream)
 	state = state*0x9e3779b97f4a7c15 + stream
-	var src Source
-	src.Reseed(state)
-	return &src
+	s.Reseed(state)
 }
 
 // Reseed re-initializes the source from a single seed.

@@ -137,24 +137,11 @@ func (r *Router) DownFromRoot(root tree.Switch, dst int) []int {
 }
 
 // RootFor returns the root switch selected by successive base-k digits of
-// sel, mirroring the choice made by UpToRoot with the same selector.
+// sel, mirroring the choice made by UpToRoot with the same selector. The
+// digit arithmetic lives in RootIndex (table.go), shared with the
+// precomputed-table path.
 func (r *Router) RootFor(sel uint64) tree.Switch {
-	t := r.T
-	k := uint64(t.K())
-	y := 0
-	for l := 1; l < t.Levels(); l++ {
-		y += int(sel%k) * pow(t.K(), l-1)
-		sel /= k
-	}
-	return tree.Switch{Level: t.Levels(), Suffix: 0, Y: y}
-}
-
-func pow(b, e int) int {
-	p := 1
-	for i := 0; i < e; i++ {
-		p *= b
-	}
-	return p
+	return tree.Switch{Level: r.T.Levels(), Suffix: 0, Y: r.RootIndex(sel)}
 }
 
 // Validate checks that a channel sequence is a structurally valid up-then-

@@ -1,0 +1,232 @@
+package routing
+
+import (
+	"sync"
+
+	"mcnet/internal/tree"
+)
+
+// AppendRoute appends the up*/down* route from src to dst to path, each
+// channel offset by base, and returns the extended slice. It is the
+// allocation-free equivalent of Route for callers that map tree-local
+// channels onto a global channel table (append into a reused buffer, no
+// intermediate []int).
+func (r *Router) AppendRoute(path []int32, base int32, src, dst int, sel uint64) []int32 {
+	t := r.T
+	j := t.NCALevel(src, dst)
+	if j == 0 {
+		panic("routing: src == dst in AppendRoute")
+	}
+	path = append(path, base+int32(t.NodeUpChannel(src)))
+	sw, _ := t.LeafOf(src)
+	for l := 1; l < j; l++ {
+		q := r.upChoice(l, dst, &sel)
+		path = append(path, base+int32(t.UpChannel(sw, q)))
+		sw, _ = t.Parent(sw, q)
+	}
+	for l := j; l >= 2; l-- {
+		child, upPort := t.ChildSwitch(sw, t.NodeDigit(dst, l))
+		path = append(path, base+int32(t.DownChannel(child, upPort)))
+		sw = child
+	}
+	return append(path, base+int32(t.NodeDownChannel(dst)))
+}
+
+// AppendUpToRoot appends the ascent from src to the root selected by the
+// base-k digits of sel (see UpToRoot), offset by base, and returns the
+// extended slice together with the chosen root's within-level index.
+func (r *Router) AppendUpToRoot(path []int32, base int32, src int, sel uint64) ([]int32, int) {
+	t := r.T
+	path = append(path, base+int32(t.NodeUpChannel(src)))
+	sw, _ := t.LeafOf(src)
+	k := uint64(t.K())
+	for l := 1; l < t.Levels(); l++ {
+		q := int(sel % k)
+		sel /= k
+		path = append(path, base+int32(t.UpChannel(sw, q)))
+		sw, _ = t.Parent(sw, q)
+	}
+	return path, t.SwitchIndex(sw)
+}
+
+// AppendDownFromRoot appends the descent from the root with within-level
+// index rootY to dst, offset by base, and returns the extended slice.
+func (r *Router) AppendDownFromRoot(path []int32, base int32, rootY, dst int) []int32 {
+	t := r.T
+	sw := tree.Switch{Level: t.Levels(), Suffix: 0, Y: rootY}
+	for l := t.Levels(); l >= 2; l-- {
+		child, upPort := t.ChildSwitch(sw, t.NodeDigit(dst, l))
+		path = append(path, base+int32(t.DownChannel(child, upPort)))
+		sw = child
+	}
+	return append(path, base+int32(t.NodeDownChannel(dst)))
+}
+
+// RootIndex returns the within-level index of the root switch selected by
+// successive base-k digits of sel — the same root UpToRoot and RootFor reach
+// with that selector.
+func (r *Router) RootIndex(sel uint64) int {
+	t := r.T
+	k := uint64(t.K())
+	y, stride := 0, 1
+	for l := 1; l < t.Levels(); l++ {
+		y += int(sel%k) * stride
+		sel /= k
+		stride *= t.K()
+	}
+	return y
+}
+
+// Table precomputes a tree's up*/down* routes for O(route-length) lookups
+// with zero per-message work beyond a copy:
+//
+//   - the Balanced intra routes for every ordered (src, dst) pair, stored in
+//     one flat arena (the RandomUp ascent depends on the per-message
+//     selector, so AppendRoute falls back to the dynamic appender in that
+//     mode);
+//
+//   - the ascent from every node to every root and the descent from every
+//     root to every node (both modes: the root choice is a function of the
+//     selector digits, which the table resolves through RootIndex).
+//
+// Trees are shape-determined, so simulators share one Table per distinct
+// (ports, levels) shape regardless of how many clusters instantiate it.
+type Table struct {
+	r      Router
+	levels int // channels per ascent/descent leg (n: node link + n−1 switch links)
+	nodes  int
+	roots  int
+
+	// routes[src*nodes+dst] spans routeArena (Balanced mode only).
+	routeOff   []int32
+	routeArena []int32
+	// upArena[(src*roots+y)*levels : +levels] is the ascent src → root y.
+	upArena []int32
+	// downArena[(y*nodes+dst)*levels : +levels] is the descent root y → dst.
+	downArena []int32
+}
+
+// NewTable precomputes the route tables of r's tree for r's routing mode.
+func NewTable(r Router) *Table {
+	t := r.T
+	tb := &Table{
+		r:      r,
+		levels: t.Levels(),
+		nodes:  t.Nodes(),
+		roots:  t.Roots(),
+	}
+	n := tb.nodes
+	if r.Mode == Balanced {
+		tb.routeOff = make([]int32, n*n+1)
+		// A route from NCA level j has 2j channels; sizing the arena exactly
+		// would mean computing every NCA twice, so just append.
+		tb.routeArena = make([]int32, 0, n*n*tb.levels)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src != dst {
+					tb.routeArena = r.AppendRoute(tb.routeArena, 0, src, dst, 0)
+				}
+				tb.routeOff[src*n+dst+1] = int32(len(tb.routeArena))
+			}
+		}
+	}
+	tb.upArena = make([]int32, 0, n*tb.roots*tb.levels)
+	for src := 0; src < n; src++ {
+		for y := 0; y < tb.roots; y++ {
+			tb.upArena = appendAscent(tb.upArena, t, src, y)
+		}
+	}
+	tb.downArena = make([]int32, 0, tb.roots*n*tb.levels)
+	for y := 0; y < tb.roots; y++ {
+		for dst := 0; dst < n; dst++ {
+			tb.downArena = r.AppendDownFromRoot(tb.downArena, 0, y, dst)
+		}
+	}
+	return tb
+}
+
+// appendAscent emits the ascent from src to the root with within-level index
+// y: the up-port at level l is y's l-th base-k digit, exactly the digits
+// AppendUpToRoot consumes from its selector.
+func appendAscent(arena []int32, t *tree.Tree, src, y int) []int32 {
+	arena = append(arena, int32(t.NodeUpChannel(src)))
+	sw, _ := t.LeafOf(src)
+	d := y
+	for l := 1; l < t.Levels(); l++ {
+		q := d % t.K()
+		d /= t.K()
+		arena = append(arena, int32(t.UpChannel(sw, q)))
+		sw, _ = t.Parent(sw, q)
+	}
+	return arena
+}
+
+// Router returns the router the table was built from.
+func (tb *Table) Router() Router { return tb.r }
+
+// appendOffset appends src to dst with every element offset by base.
+func appendOffset(dst []int32, src []int32, base int32) []int32 {
+	if base == 0 {
+		return append(dst, src...)
+	}
+	for _, c := range src {
+		dst = append(dst, base+c)
+	}
+	return dst
+}
+
+// AppendRoute appends the up*/down* route from src to dst (offset by base).
+// In Balanced mode this is a copy from the precomputed arena; in RandomUp
+// mode the ascent depends on sel, so it delegates to the dynamic appender.
+func (tb *Table) AppendRoute(path []int32, base int32, src, dst int, sel uint64) []int32 {
+	if tb.r.Mode != Balanced {
+		return tb.r.AppendRoute(path, base, src, dst, sel)
+	}
+	i := src*tb.nodes + dst
+	return appendOffset(path, tb.routeArena[tb.routeOff[i]:tb.routeOff[i+1]], base)
+}
+
+// AppendUpToRoot appends the ascent from src to the root selected by sel's
+// base-k digits (offset by base) and returns the root's within-level index.
+func (tb *Table) AppendUpToRoot(path []int32, base int32, src int, sel uint64) ([]int32, int) {
+	y := tb.r.RootIndex(sel)
+	i := (src*tb.roots + y) * tb.levels
+	return appendOffset(path, tb.upArena[i:i+tb.levels], base), y
+}
+
+// AppendDownFromRoot appends the descent from the root with within-level
+// index rootY to dst (offset by base).
+func (tb *Table) AppendDownFromRoot(path []int32, base int32, rootY, dst int) []int32 {
+	i := (rootY*tb.nodes + dst) * tb.levels
+	return appendOffset(path, tb.downArena[i:i+tb.levels], base)
+}
+
+// RootIndex resolves a selector to the within-level root index, mirroring
+// AppendUpToRoot's digit consumption.
+func (tb *Table) RootIndex(sel uint64) int { return tb.r.RootIndex(sel) }
+
+// tableCache shares route tables process-wide. Routes are a pure function of
+// the tree shape and the routing mode, and tables are immutable after
+// construction, so concurrent simulations (the sweep engine runs one
+// simulator per worker) reuse one table per (ports, levels, mode) instead of
+// re-deriving O(N²) routes per run.
+var tableCache sync.Map // tableKey -> *Table
+
+type tableKey struct {
+	ports, levels int
+	mode          Mode
+}
+
+// SharedTable returns the process-wide route table for r's tree shape and
+// mode, computing it on first use. Callers must treat the table as
+// read-only.
+func SharedTable(r Router) *Table {
+	key := tableKey{r.T.Ports(), r.T.Levels(), r.Mode}
+	if tb, ok := tableCache.Load(key); ok {
+		return tb.(*Table)
+	}
+	// Duplicate builds under contention are harmless: both are identical and
+	// LoadOrStore keeps exactly one.
+	tb, _ := tableCache.LoadOrStore(key, NewTable(r))
+	return tb.(*Table)
+}

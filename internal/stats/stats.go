@@ -76,10 +76,15 @@ func (r *Running) Mean() float64 {
 }
 
 // Variance returns the unbiased sample variance, or NaN with fewer than two
-// observations.
+// observations. Constant samples yield exactly 0: the accumulated squared
+// deviation is clamped at zero, so floating-point cancellation (possible in
+// Merge) can never produce a negative variance or a NaN standard deviation.
 func (r *Running) Variance() float64 {
 	if r.n < 2 {
 		return math.NaN()
+	}
+	if r.m2 <= 0 {
+		return 0
 	}
 	return r.m2 / float64(r.n-1)
 }
@@ -230,7 +235,9 @@ func (b *BatchMeans) Batches() int { return len(b.batches) }
 
 // HalfWidth returns the half-width of an approximate confidence interval for
 // the mean at the given z value (e.g. 1.96 for 95%), or NaN with fewer than
-// two complete batches.
+// two complete batches (one batch mean carries no dispersion information).
+// Constant observations give a half-width of exactly 0, never NaN: the
+// batch-mean variance is clamped at zero like Running.Variance.
 func (b *BatchMeans) HalfWidth(z float64) float64 {
 	k := len(b.batches)
 	if k < 2 {

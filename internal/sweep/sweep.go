@@ -182,6 +182,12 @@ func (s Spec) Validate() error {
 	if s.Measure <= 0 {
 		return fmt.Errorf("sweep: spec %q: measure phase must be positive", s.Name)
 	}
+	if s.Warmup < 0 || s.Drain < 0 {
+		return fmt.Errorf("sweep: spec %q: negative warmup/drain (%d,%d)", s.Name, s.Warmup, s.Drain)
+	}
+	if s.Reps < 0 {
+		return fmt.Errorf("sweep: spec %q: negative reps %d", s.Name, s.Reps)
+	}
 	if _, err := ModelOptions(s.Model); err != nil {
 		return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 	}

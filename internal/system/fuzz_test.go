@@ -1,0 +1,80 @@
+package system
+
+import (
+	"testing"
+)
+
+// FuzzParseOrganizationRoundTrip checks the canonicalization contract of the
+// organization spec syntax: whatever ParseOrganization accepts, Format must
+// render to a string that reparses to an equivalent organization, and Format
+// must be idempotent through that round trip (Format∘Parse is a projection
+// onto canonical specs).
+func FuzzParseOrganizationRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"org1",
+		"org2",
+		"table1-org1",
+		"m=8:12x1,16x2,4x3",
+		"m=4:8x3@2,3x4,5x5",
+		"m=4:2x1",
+		"m=2:1x1@0.5",
+		"m=16: 4x2 , 4x2 ",
+		"m=8:12x1,,16x2",
+		"m=6:0x0",
+		"m=8",
+		"m=8:",
+		"m=x:1x1",
+		"m=8:1y1",
+		"m=8:1x1@",
+		"m=8:-3x2@-1.5",
+		"m=9999999999999999999:1x1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		org, err := ParseOrganization(spec)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		canonical := Format(org)
+		org2, err := ParseOrganization(canonical)
+		if err != nil {
+			t.Fatalf("Format(%q) = %q does not reparse: %v", spec, canonical, err)
+		}
+		if again := Format(org2); again != canonical {
+			t.Fatalf("Format not idempotent: %q → %q → %q", spec, canonical, again)
+		}
+		if org2.Ports != org.Ports || len(org2.Specs) != len(org.Specs) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", org, org2)
+		}
+		for i := range org.Specs {
+			a, b := org.Specs[i], org2.Specs[i]
+			// Rate factors 0 and 1 both mean "nominal" and canonicalize to
+			// the omitted form.
+			ra, rb := a.RateFactor, b.RateFactor
+			if ra == 1 {
+				ra = 0
+			}
+			if rb == 1 {
+				rb = 0
+			}
+			if a.Count != b.Count || a.Levels != b.Levels || ra != rb {
+				t.Fatalf("round trip changed group %d: %+v vs %+v", i, a, b)
+			}
+		}
+		// If the original materializes, the canonical form must materialize
+		// to the same system.
+		sys, err := New(org)
+		if err != nil {
+			return
+		}
+		sys2, err := New(org2)
+		if err != nil {
+			t.Fatalf("New(Format(%q)) failed: %v", spec, err)
+		}
+		if sys.TotalNodes() != sys2.TotalNodes() || sys.C() != sys2.C() {
+			t.Fatalf("round trip changed system: N=%d/%d C=%d/%d",
+				sys.TotalNodes(), sys2.TotalNodes(), sys.C(), sys2.C())
+		}
+	})
+}

@@ -59,8 +59,9 @@ type Worm struct {
 	HeaderAt   float64
 	TailAt     float64
 
-	pos int
-	acq []float64
+	pos  int
+	slot int32 // index in the network's in-flight table while injected
+	acq  []float64
 }
 
 // Reset prepares a worm for reuse with a new route.
@@ -83,36 +84,33 @@ func (w *Worm) SourceWait() float64 {
 	return w.acq[0] - w.InjectedAt
 }
 
-// fifo is a FIFO of worms with amortized O(1) operations.
+// fifo is a FIFO of in-flight worm slots with amortized O(1) operations.
+// Storing pool slots rather than pointers keeps the queues GC-transparent.
 type fifo struct {
-	items []*Worm
+	items []int32
 	head  int
 	high  int // high-water mark of the queue length
 }
 
-func (f *fifo) push(w *Worm) {
-	f.items = append(f.items, w)
+func (f *fifo) push(slot int32) {
+	f.items = append(f.items, slot)
 	if n := f.len(); n > f.high {
 		f.high = n
 	}
 }
 
-func (f *fifo) pop() *Worm {
-	w := f.items[f.head]
-	f.items[f.head] = nil
+func (f *fifo) pop() int32 {
+	slot := f.items[f.head]
 	f.head++
 	if f.head == len(f.items) {
 		f.items = f.items[:0]
 		f.head = 0
 	} else if f.head > 64 && f.head*2 >= len(f.items) {
 		n := copy(f.items, f.items[f.head:])
-		for i := n; i < len(f.items); i++ {
-			f.items[i] = nil
-		}
 		f.items = f.items[:n]
 		f.head = 0
 	}
-	return w
+	return slot
 }
 
 func (f *fifo) len() int { return len(f.items) - f.head }
@@ -129,16 +127,23 @@ type channel struct {
 
 // Network owns the channel table and advances worms on a scheduler.
 type Network struct {
-	sched    *des.Scheduler
-	ch       []channel
-	inFlight int
-	injected uint64
-	done     uint64
+	sched *des.Scheduler
+	hid   des.HandlerID
+	ch    []channel
+	// worms and freeSlots are the in-flight table: every injected worm holds
+	// one slot until delivery, so scheduler events can name worms by a dense
+	// index and the event heap stays pointer-free.
+	worms     []*Worm
+	freeSlots []int32
+	inFlight  int
+	injected  uint64
+	done      uint64
 }
 
 // New creates a network whose channel i has flit transfer time flitTimes[i].
 func New(sched *des.Scheduler, flitTimes []float64) *Network {
 	n := &Network{sched: sched, ch: make([]channel, len(flitTimes))}
+	n.hid = sched.Register(n)
 	for i, ft := range flitTimes {
 		if ft <= 0 {
 			panic(fmt.Sprintf("wormhole: channel %d has non-positive flit time %v", i, ft))
@@ -186,6 +191,35 @@ func (n *Network) Utilization(c int32) float64 {
 // Grants returns how many times channel c was acquired.
 func (n *Network) Grants(c int32) uint64 { return n.ch[c].grants }
 
+// Event discriminators of the network's des.Handler. All per-flit traffic is
+// dispatched through the scheduler's allocation-free fast path: the network
+// is the handler, op selects the action, and the worm or channel index rides
+// in the payload slots.
+const (
+	opHeader  int32 = iota // arg = worm slot: header finished crossing a channel
+	opRelease              // arg = channel index: tail crossed, free it
+	opDeliver              // arg = worm slot: tail arrived at the endpoint
+)
+
+// HandleEvent implements des.Handler.
+func (n *Network) HandleEvent(op, arg int32) {
+	switch op {
+	case opHeader:
+		n.headerAdvance(n.worms[arg])
+	case opRelease:
+		n.release(arg)
+	case opDeliver:
+		w := n.worms[arg]
+		n.worms[arg] = nil
+		n.freeSlots = append(n.freeSlots, arg)
+		n.inFlight--
+		n.done++
+		if w.OnDone != nil {
+			w.OnDone(w)
+		}
+	}
+}
+
 // Inject starts a worm at the current simulated time. The worm queues on the
 // first channel of its route (the injection link), which is how source
 // queueing arises naturally in the model.
@@ -199,6 +233,14 @@ func (n *Network) Inject(w *Worm) {
 	w.pos = 0
 	w.acq = w.acq[:0]
 	w.InjectedAt = n.sched.Now()
+	if k := len(n.freeSlots); k > 0 {
+		w.slot = n.freeSlots[k-1]
+		n.freeSlots = n.freeSlots[:k-1]
+		n.worms[w.slot] = w
+	} else {
+		w.slot = int32(len(n.worms))
+		n.worms = append(n.worms, w)
+	}
 	n.inFlight++
 	n.injected++
 	n.request(w)
@@ -211,7 +253,7 @@ func (n *Network) request(w *Worm) {
 		n.grant(c, w)
 		return
 	}
-	c.waiting.push(w)
+	c.waiting.push(w.slot)
 }
 
 // grant hands the channel to the worm and schedules the header's hop.
@@ -221,7 +263,7 @@ func (n *Network) grant(c *channel, w *Worm) {
 	c.busySince = now
 	c.grants++
 	w.acq = append(w.acq, now)
-	n.sched.After(c.flit, func() { n.headerAdvance(w) })
+	n.sched.Call(now+c.flit, n.hid, opHeader, w.slot)
 }
 
 // headerAdvance moves the header one hop: either request the next channel or
@@ -255,20 +297,10 @@ func (n *Network) complete(w *Worm) {
 			// arrived (see the package comment).
 			tc = now
 		}
-		n.scheduleRelease(ci, tc)
+		n.sched.Call(tc, n.hid, opRelease, ci)
 	}
 	w.TailAt = tc
-	n.sched.At(tc, func() {
-		n.inFlight--
-		n.done++
-		if w.OnDone != nil {
-			w.OnDone(w)
-		}
-	})
-}
-
-func (n *Network) scheduleRelease(ci int32, at float64) {
-	n.sched.At(at, func() { n.release(ci) })
+	n.sched.Call(tc, n.hid, opDeliver, w.slot)
 }
 
 // release frees a channel and grants it to the next waiter, if any.
@@ -277,6 +309,6 @@ func (n *Network) release(ci int32) {
 	c.busy = false
 	c.busyTotal += n.sched.Now() - c.busySince
 	if c.waiting.len() > 0 {
-		n.grant(c, c.waiting.pop())
+		n.grant(c, n.worms[c.waiting.pop()])
 	}
 }
