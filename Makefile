@@ -3,8 +3,13 @@ GO ?= go
 # working tree gets a -dirty suffix so numbers are never attributed to a
 # commit they don't correspond to.
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)$(shell test -z "$$(git status --porcelain 2>/dev/null)" || echo -dirty)
+# bench writes here; bench-gate overrides it so a CI run never clobbers (or
+# accidentally becomes) the committed baseline.
+BENCH_OUT ?= BENCH_$(REV).json
+# Per-fuzzer exploration budget of the fuzz smoke.
+FUZZTIME ?= 15s
 
-.PHONY: all build test race vet bench bench-all cover clean
+.PHONY: all build test race vet fmt-check staticcheck lint fuzz bench bench-all bench-gate cover ci clean
 
 all: build test
 
@@ -14,31 +19,73 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
+
+# staticcheck is optional locally (CI installs a pinned version; see
+# .github/workflows/ci.yml). Skipping locally prints a notice so `make ci`
+# stays honest about what it did not run.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+lint: fmt-check vet staticcheck
+
 test: vet
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# fuzz gives every fuzzer a short exploration budget beyond its committed
+# corpus (go test accepts one -fuzz target per invocation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzExpand$$' -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePattern$$' -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run '^$$' -fuzz '^FuzzParseWorkload$$' -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run '^$$' -fuzz '^FuzzParseOrganizationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/system
+
 # bench runs the cross-layer hot-path benchmarks (internal/bench) and writes
-# the raw `go test -json` stream to BENCH_<rev>.json at the repo root. Each
-# line is one test2json event; the benchmark results are the "Output" events
-# whose payload ends in ns/op. Compare two revisions with benchstat or by
-# diffing those lines.
+# the raw `go test -json` stream to $(BENCH_OUT). The summary printer is
+# cmd/benchdiff -list, which parses the same artifact the gate consumes (and
+# is portable: no GNU grep/sed extensions).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count 1 -json ./internal/bench > BENCH_$(REV).json
-	@grep -oE '"Output":"[^"]*(Benchmark|ns/op)[^"]*"' BENCH_$(REV).json | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n$$//' | paste - -
-	@echo wrote BENCH_$(REV).json
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 -json ./internal/bench > $(BENCH_OUT)
+	@$(GO) run ./cmd/benchdiff -list $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
 
 # bench-all additionally runs every per-package benchmark in the repo
 # (slower; not part of the regression artifact).
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# bench-gate is the CI benchmark regression gate: re-measure and compare
+# against the committed BENCH_<rev>.json baseline, failing on >25% ns/op
+# regression in any internal/bench benchmark. Refresh the baseline
+# deliberately with: make bench && git rm BENCH_<old>.json && git add
+# BENCH_<new>.json (see README).
+bench-gate:
+	@baseline="$$(git ls-files 'BENCH_*.json')"; \
+	if [ -z "$$baseline" ]; then echo "bench-gate: no committed BENCH_*.json baseline"; exit 1; fi; \
+	if [ "$$(printf '%s\n' "$$baseline" | wc -l)" -ne 1 ]; then \
+		echo "bench-gate: expected exactly one committed baseline, found:"; echo "$$baseline"; exit 1; fi; \
+	$(MAKE) bench BENCH_OUT=BENCH_gate.json || exit 1; \
+	status=0; $(GO) run ./cmd/benchdiff -threshold 1.25 "$$baseline" BENCH_gate.json || status=$$?; \
+	rm -f BENCH_gate.json; exit $$status
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
+# ci mirrors .github/workflows/ci.yml so local runs reproduce the pipeline:
+# lint job (fmt-check, vet, staticcheck), test job (build, test, race, fuzz)
+# and the bench-gate job.
+ci: lint build test race fuzz bench-gate
+
 clean:
 	$(GO) clean ./...
-	rm -f cover.out
+	rm -f cover.out BENCH_gate.json

@@ -1,0 +1,256 @@
+// Command benchdiff compares two benchmark artifacts produced by `make
+// bench` (`go test -json` streams, the BENCH_<rev>.json files) and fails
+// when any benchmark of the new run regressed beyond the threshold in
+// ns/op. It is the CI bench-gate: the committed baseline is the contract,
+// and a PR that slows a hot path down >25% fails the gate.
+//
+// Usage:
+//
+//	benchdiff old.json new.json              # gate at the default 1.25×
+//	benchdiff -threshold 1.5 old.json new.json
+//	benchdiff -list file.json                # pretty-print one artifact
+//
+// Benchmarks present in only one artifact are reported but never fail the
+// gate (new benchmarks must be able to land together with their baseline
+// refresh).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed measurements.
+type Bench struct {
+	Name     string
+	NsOp     float64
+	BytesOp  float64 // NaN-free: -1 when absent
+	AllocsOp float64 // -1 when absent
+}
+
+// errBadFlags mirrors the mcsweep convention: flag errors are already
+// printed by the FlagSet.
+var errBadFlags = errors.New("invalid arguments")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errBadFlags) {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind main, factored out for tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 1.25, "fail when new ns/op exceeds threshold × old ns/op")
+		list      = fs.Bool("list", false, "print one artifact's benchmarks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errBadFlags
+	}
+	if *list {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-list needs exactly one artifact, got %d", fs.NArg())
+		}
+		benches, err := parseFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printBenches(stdout, benches)
+		return nil
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("need exactly two artifacts (old new), got %d", fs.NArg())
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold %v must be positive", *threshold)
+	}
+	old, err := parseFile(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("%s: %v", fs.Arg(0), err)
+	}
+	new_, err := parseFile(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("%s: %v", fs.Arg(1), err)
+	}
+	return diff(stdout, old, new_, *threshold)
+}
+
+// diff reports every benchmark comparison and returns an error naming the
+// regressions, if any.
+func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
+	oldBy := make(map[string]Bench, len(old))
+	for _, b := range old {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(new_))
+	var regressions []string
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, nb := range new_ {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14s %14.1f %8s  (new, no baseline)\n", nb.Name, "-", nb.NsOp, "-")
+			continue
+		}
+		ratio := nb.NsOp / ob.NsOp
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f → %.1f ns/op (%.2f× > %.2f×)", nb.Name, ob.NsOp, nb.NsOp, ratio, threshold))
+		}
+		fmt.Fprintf(w, "%-28s %14.1f %14.1f %7.2fx%s\n", nb.Name, ob.NsOp, nb.NsOp, ratio, mark)
+	}
+	for _, ob := range old {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-28s %14.1f %14s %8s  (removed)\n", ob.Name, ob.NsOp, "-", "-")
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2f×:\n  %s",
+			len(regressions), threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no regressions beyond %.2f×\n", threshold)
+	return nil
+}
+
+func printBenches(w io.Writer, benches []Bench) {
+	for _, b := range benches {
+		line := fmt.Sprintf("%-28s %14.1f ns/op", b.Name, b.NsOp)
+		if b.BytesOp >= 0 {
+			line += fmt.Sprintf(" %12.0f B/op", b.BytesOp)
+		}
+		if b.AllocsOp >= 0 {
+			line += fmt.Sprintf(" %8.0f allocs/op", b.AllocsOp)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func parseFile(path string) ([]Bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// event is the subset of the test2json stream benchdiff reads.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// Parse extracts benchmark results from a `go test -json` stream. A result
+// is an output event whose payload carries an "ns/op" measurement; the
+// benchmark name comes from the event's Test field (or from the payload
+// itself for streams captured without -json framing per benchmark). The
+// -<GOMAXPROCS> suffix is stripped so artifacts from differently sized
+// machines stay comparable. Results are returned in first-seen order;
+// repeated measurements of one benchmark (e.g. -count > 1) keep the
+// minimum ns/op, the conventional noise-resistant choice.
+func Parse(r io.Reader) ([]Bench, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	index := make(map[string]int)
+	var out []Bench
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("benchdiff: not a go test -json stream: %v", err)
+		}
+		if e.Action != "output" || !strings.Contains(e.Output, "ns/op") {
+			continue
+		}
+		b, ok := parseResultLine(e.Test, e.Output)
+		if !ok {
+			continue
+		}
+		if i, dup := index[b.Name]; dup {
+			if b.NsOp < out[i].NsOp {
+				out[i] = b
+			}
+			continue
+		}
+		index[b.Name] = len(out)
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("benchdiff: no benchmark results found")
+	}
+	return out, nil
+}
+
+// parseResultLine parses one benchmark result payload, e.g.
+//
+//	" 7731849\t       150.8 ns/op\t      24 B/op\t       1 allocs/op\n"
+//
+// optionally prefixed with "BenchmarkName-8" when the Test field is empty.
+func parseResultLine(test, output string) (Bench, bool) {
+	fields := strings.Fields(output)
+	name := stripProcs(test)
+	start := 0
+	if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+		if name == "" {
+			name = stripProcs(fields[0])
+		}
+		start = 1
+	}
+	if name == "" {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, BytesOp: -1, AllocsOp: -1}
+	found := false
+	for i := start + 1; i < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
+			b.NsOp = v
+			found = true
+		case "B/op":
+			b.BytesOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		}
+	}
+	return b, found
+}
+
+// stripProcs removes the -<GOMAXPROCS> suffix from a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream builds a minimal go test -json stream with the given benchmark
+// results (name → ns/op).
+func stream(results map[string]float64) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"mcnet/internal/bench"}` + "\n")
+	for name, ns := range results {
+		fmt.Fprintf(&b, `{"Action":"run","Test":"%s"}`+"\n", name)
+		fmt.Fprintf(&b, `{"Action":"output","Test":"%s","Output":"%s-8\n"}`+"\n", name, name)
+		fmt.Fprintf(&b, `{"Action":"output","Test":"%s","Output":"     100\t%12.1f ns/op\t      24 B/op\t       1 allocs/op\n"}`+"\n", name, ns)
+	}
+	b.WriteString(`{"Action":"pass","Package":"mcnet/internal/bench"}` + "\n")
+	return b.String()
+}
+
+func writeStream(t *testing.T, dir, name string, results map[string]float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(stream(results)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseSyntheticStream(t *testing.T) {
+	benches, err := Parse(strings.NewReader(stream(map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkBar": 250.5,
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	byName := map[string]Bench{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	if b := byName["BenchmarkFoo"]; b.NsOp != 100 || b.BytesOp != 24 || b.AllocsOp != 1 {
+		t.Fatalf("BenchmarkFoo parsed as %+v", b)
+	}
+	if b := byName["BenchmarkBar"]; b.NsOp != 250.5 {
+		t.Fatalf("BenchmarkBar ns/op = %v, want 250.5", b.NsOp)
+	}
+}
+
+// TestGateFailsOnSyntheticSlowdown is the acceptance proof that the gate is
+// live: a 2× slowdown of one benchmark must fail at the CI threshold.
+func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := writeStream(t, dir, "old.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkBar": 1000,
+	})
+	slow := writeStream(t, dir, "slow.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkBar": 2000,
+	})
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-threshold", "1.25", old, slow}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate; output:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkBar") || !strings.Contains(err.Error(), "2.00×") {
+		t.Fatalf("regression error %q does not name the offender and ratio", err)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Fatalf("report does not mark the regression:\n%s", stdout.String())
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeStream(t, dir, "old.json", map[string]float64{"BenchmarkFoo": 100})
+	// 20% slower, 25% allowed; plus a brand-new benchmark with no baseline,
+	// which must not fail the gate.
+	new_ := writeStream(t, dir, "new.json", map[string]float64{
+		"BenchmarkFoo": 120, "BenchmarkFresh": 9999,
+	})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{old, new_}, &stdout, &stderr); err != nil {
+		t.Fatalf("within-threshold run failed the gate: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no baseline") {
+		t.Fatalf("report does not flag the baseline-less benchmark:\n%s", stdout.String())
+	}
+}
+
+// TestCommittedBaselinePassesGate compares the repo's committed BENCH
+// artifact against itself: the gate must pass on the baseline it ships with.
+func TestCommittedBaselinePassesGate(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no committed BENCH_*.json baseline at the repo root")
+	}
+	for _, baseline := range matches {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{baseline, baseline}, &stdout, &stderr); err != nil {
+			t.Fatalf("committed baseline %s fails its own gate: %v", baseline, err)
+		}
+		benches, err := parseFile(baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(benches) < 5 {
+			t.Fatalf("baseline %s has %d benchmarks, expected the internal/bench suite (>= 5)", baseline, len(benches))
+		}
+	}
+}
+
+func TestListMode(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStream(t, dir, "a.json", map[string]float64{"BenchmarkFoo": 150.5})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"BenchmarkFoo", "150.5 ns/op", "24 B/op", "1 allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStream(t, dir, "a.json", map[string]float64{"BenchmarkFoo": 1})
+	for name, args := range map[string][]string{
+		"no args":        {},
+		"one arg":        {path},
+		"three args":     {path, path, path},
+		"bad threshold":  {"-threshold", "0", path, path},
+		"list two args":  {"-list", path, path},
+		"missing file":   {path, filepath.Join(dir, "nope.json")},
+		"unknown flag":   {"-frobnicate", path, path},
+		"not json input": {"-list", mustWrite(t, dir, "bad.txt", "BenchmarkFoo 100 ns/op")},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err == nil {
+				t.Fatalf("run(%v) unexpectedly succeeded", args)
+			}
+		})
+	}
+}
+
+func mustWrite(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCountKeepsMinimum: repeated measurements (bench -count > 1) keep the
+// fastest run, the noise-resistant convention.
+func TestCountKeepsMinimum(t *testing.T) {
+	s := stream(map[string]float64{"BenchmarkFoo": 100}) +
+		stream(map[string]float64{"BenchmarkFoo": 80})
+	benches, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].NsOp != 80 {
+		t.Fatalf("parsed %+v, want single BenchmarkFoo at 80 ns/op", benches)
+	}
+}

@@ -7,6 +7,9 @@
 //	mcsim -org org1 -lambda 2e-4
 //	mcsim -org org2 -m 64 -lm 512 -lambda 1e-4 -reps 5
 //	mcsim -org org2 -lambda 3e-4 -pattern local:0.6
+//	mcsim -org org2 -lambda 3e-4 -arrival mmpp:16:32 -sizes bimodal:8:128:0.2
+//	mcsim -org org2 -lambda 3e-4 -record run.jsonl   # record the workload
+//	mcsim -replay run.jsonl                          # bit-exact re-run
 package main
 
 import (
@@ -21,9 +24,11 @@ import (
 	"mcnet/internal/mcsim"
 	"mcnet/internal/routing"
 	"mcnet/internal/stats"
+	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/traffic"
 	"mcnet/internal/units"
+	"mcnet/internal/workload"
 )
 
 func main() {
@@ -39,39 +44,117 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent replications (seeds seed..seed+reps-1)")
 		pattern = flag.String("pattern", "uniform", "traffic: uniform|hotspot:<frac>|local:<frac>")
 		mode    = flag.String("routing", "balanced", "ascent discipline: balanced|random")
+		arrival = flag.String("arrival", "poisson", "arrival process: poisson|deterministic|mmpp:<peak>:<burst>")
+		sizes   = flag.String("sizes", "fixed", "message lengths: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>")
+		record  = flag.String("record", "", "record the generation stream to this trace file (JSONL)")
+		replay  = flag.String("replay", "", "replay a recorded trace instead of generating (ignores workload flags)")
 		verbose = flag.Bool("v", false, "print per-cluster statistics")
 	)
 	flag.Parse()
 
-	org, err := system.ParseOrganization(*orgSpec)
-	if err != nil {
-		fatalf("%v", err)
+	var cfg mcsim.Config
+	var org system.Organization
+	var err error
+	if *replay != "" {
+		if *record != "" {
+			// A re-recorded trace would carry a header describing the
+			// replay config, not the workload the events came from.
+			fatalf("-record cannot be combined with -replay (the trace already exists)")
+		}
+		tr, err := workload.ReadFile(*replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if cfg, err = sweep.ReplayConfig(tr); err != nil {
+			fatalf("%v", err)
+		}
+		org = cfg.Org
+		*reps = 1
+		fmt.Printf("replaying %s: %d events recorded from org %q\n", *replay, len(tr.Events), tr.Header.Org)
+	} else {
+		org, err = system.ParseOrganization(*orgSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		par := units.Default().WithMessage(*mFlits, *lm)
+		cfg = mcsim.Config{
+			Org: org, Par: par, LambdaG: *lambda,
+			Warmup: *warmup, Measure: *measure, Drain: *drain,
+		}
+		switch *mode {
+		case "balanced":
+			cfg.RoutingMode = routing.Balanced
+		case "random":
+			cfg.RoutingMode = routing.RandomUp
+		default:
+			fatalf("unknown -routing %q", *mode)
+		}
+		if cfg.Pattern, err = parsePattern(*pattern); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.Arrival, err = workload.ParseArrival(*arrival); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.Sizes, err = workload.ParseSize(*sizes); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(system.MustNew(org).Summary())
+		fmt.Printf("  parameters: %s   λ_g=%g   routing=%s   pattern=%s   arrival=%s   sizes=%s\n\n",
+			par, *lambda, *mode, *pattern, cfg.Arrival.Name(), cfg.Sizes.Name())
 	}
-	par := units.Default().WithMessage(*mFlits, *lm)
-	cfg := mcsim.Config{
-		Org: org, Par: par, LambdaG: *lambda,
-		Warmup: *warmup, Measure: *measure, Drain: *drain,
-	}
-	switch *mode {
-	case "balanced":
-		cfg.RoutingMode = routing.Balanced
-	case "random":
-		cfg.RoutingMode = routing.RandomUp
-	default:
-		fatalf("unknown -routing %q", *mode)
-	}
-	if cfg.Pattern, err = parsePattern(*pattern); err != nil {
-		fatalf("%v", err)
-	}
-
-	fmt.Print(system.MustNew(org).Summary())
-	fmt.Printf("  parameters: %s   λ_g=%g   routing=%s   pattern=%s\n\n", par, *lambda, *mode, *pattern)
 
 	var means stats.Running
 	for rep := 0; rep < *reps; rep++ {
-		cfg.Seed = *seed + uint64(rep)
+		if *replay == "" {
+			cfg.Seed = *seed + uint64(rep)
+		}
+		var traceFile *os.File
+		var traceWriter *workload.Writer
+		if *record != "" {
+			if *reps > 1 {
+				fatalf("-record needs -reps 1 (a trace holds one run)")
+			}
+			if traceFile, err = os.Create(*record); err != nil {
+				fatalf("%v", err)
+			}
+			hdr := workload.Header{
+				Org: system.Format(org), Flits: cfg.Par.MessageFlits, FlitBytes: cfg.Par.FlitBytes,
+				AlphaNet: cfg.Par.AlphaNet, AlphaSw: cfg.Par.AlphaSw, BetaNet: cfg.Par.BetaNet,
+				Lambda: cfg.LambdaG, Seed: cfg.Seed,
+				Warmup: cfg.Warmup, Measure: cfg.Measure, Drain: cfg.Drain,
+			}
+			if cfg.Arrival != nil {
+				hdr.Arrival = cfg.Arrival.Name()
+			}
+			if cfg.Sizes != nil {
+				hdr.Size = cfg.Sizes.Name()
+			}
+			if *pattern != "uniform" {
+				hdr.Pattern = *pattern
+			}
+			if cfg.RoutingMode == routing.RandomUp {
+				hdr.Routing = "random-up"
+			}
+			if traceWriter, err = workload.NewWriter(traceFile, hdr); err != nil {
+				fatalf("%v", err)
+			}
+			cfg.Record = func(e workload.Event) {
+				if err := traceWriter.Add(e); err != nil {
+					fatalf("recording trace: %v", err)
+				}
+			}
+		}
 		start := time.Now()
 		res, err := mcsim.Run(cfg)
+		if traceWriter != nil {
+			if err := traceWriter.Flush(); err != nil {
+				fatalf("flushing trace: %v", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatalf("closing trace: %v", err)
+			}
+			fmt.Printf("recorded %d events to %s\n", traceWriter.Events(), *record)
+		}
 		if err != nil {
 			fmt.Printf("rep %d: %v (partial results follow)\n", rep, err)
 		}

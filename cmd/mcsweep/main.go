@@ -11,10 +11,12 @@
 //	mcsweep -spec fig3-m32 -out results/ -resume   # instant: 100% cache hits
 //	mcsweep -spec mysweep.json -workers 4    # custom spec, bounded parallelism
 //	mcsweep -spec demo -print-spec           # emit a spec JSON to start from
+//	mcsweep -spec bursty -out results/       # burstiness × size-mix grid
+//	mcsweep -spec demo -arrivals mmpp:16:32 -sizes bimodal:8:128:0.2 -out results/
 //
 // A spec names its axes (organizations, message geometry, traffic patterns,
-// routing policies, load grid, replications); the cross product is the job
-// grid. Without -resume the grid's own cache entries are invalidated first,
+// routing policies, arrival processes, message-length distributions, load
+// grid, replications); the cross product is the job grid. Without -resume the grid's own cache entries are invalidated first,
 // so the run measures everything afresh (other sweeps sharing the output
 // directory keep their cache); with -resume, previously completed jobs are
 // reused and an interrupted sweep continues where it stopped.
@@ -64,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		drain     = fs.Int("drain", -1, "override spec drain message count")
 		seed      = fs.Uint64("seed", 0, "override spec base seed")
 		reps      = fs.Int("reps", 0, "override spec replications per point")
+		arrivals  = fs.String("arrivals", "", "override spec arrival axis (comma-separated: poisson|deterministic|mmpp:<peak>:<burst>)")
+		sizes     = fs.String("sizes", "", "override spec size axis (comma-separated: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -95,6 +99,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *reps > 0 {
 		spec.Reps = *reps
+	}
+	if *arrivals != "" {
+		spec.Arrivals = strings.Split(*arrivals, ",")
+	}
+	if *sizes != "" {
+		spec.Sizes = strings.Split(*sizes, ",")
 	}
 	spec = spec.Normalized()
 
@@ -145,6 +155,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer jsonlFile.Close()
 	csvSink := sweep.NewCSVSink(csvFile)
+	// The workload columns appear only when the spec actually sweeps the
+	// workload axes, so pre-workload specs keep their CSV schema.
+	csvSink.Workload = spec.HasWorkloadAxes()
 	jsonlSink := sweep.NewJSONLSink(jsonlFile)
 
 	start := time.Now()

@@ -90,6 +90,26 @@ func TestRunFlagHandling(t *testing.T) {
 			args:    []string{"-spec", specPath, "-print-spec", "-measure", "123", "-seed", "9", "-reps", "2"},
 			wantOut: `"measure": 123`,
 		},
+		{
+			name:    "workload axes override",
+			args:    []string{"-spec", specPath, "-print-spec", "-arrivals", "poisson,mmpp:16:32", "-sizes", "bimodal:8:128:0.2"},
+			wantOut: `"mmpp:16:32"`,
+		},
+		{
+			name:    "bad arrival override",
+			args:    []string{"-spec", specPath, "-dry-run", "-arrivals", "sometimes"},
+			wantErr: "unknown arrival process",
+		},
+		{
+			name:    "bad size override",
+			args:    []string{"-spec", specPath, "-dry-run", "-sizes", "pareto:3"},
+			wantErr: "unknown size distribution",
+		},
+		{
+			name:    "dry run shows workload columns",
+			args:    []string{"-spec", "bursty", "-dry-run"},
+			wantOut: "mmpp:64:64",
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -155,5 +175,31 @@ func TestRunExecuteAndResume(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "1 executed, 0 cache hits") {
 		t.Fatalf("re-run summary = %q, want fresh execution", stdout.String())
+	}
+
+	// The default-workload spec keeps the pre-workload CSV schema …
+	csv3, err := os.ReadFile(filepath.Join(out, "tiny.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.SplitN(string(csv3), "\n", 2)[0], "arrival") {
+		t.Fatalf("default-workload CSV unexpectedly grew workload columns:\n%s", csv3)
+	}
+
+	// … and a spec sweeping the workload axes gains the workload columns.
+	var wout bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-out", out, "-arrivals", "mmpp:4:8"}, &wout, &stderr); err != nil {
+		t.Fatalf("workload run: %v", err)
+	}
+	wcsv, err := os.ReadFile(filepath.Join(out, "tiny.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(wcsv), "\n", 2)[0]
+	if !strings.HasSuffix(head, "arrival,size_dist") {
+		t.Fatalf("workload CSV header %q does not end with the workload columns", head)
+	}
+	if !strings.Contains(string(wcsv), "mmpp:4:8,fixed") {
+		t.Fatalf("workload CSV rows missing axis values:\n%s", wcsv)
 	}
 }

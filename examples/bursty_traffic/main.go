@@ -1,0 +1,140 @@
+// Bursty traffic: the paper's model assumes Poisson arrivals with
+// fixed-length messages (assumptions 1 and 3) and names non-uniform,
+// non-stationary workloads as future work. This walkthrough runs the same
+// offered load through increasingly bursty arrival processes and a
+// short/long message mix, shows where the Poisson/fixed-M model prediction
+// stops tracking the simulation, and then demonstrates trace record/replay:
+// the bursty run's generation stream is recorded to a JSONL trace and
+// replayed bit-exactly.
+//
+// Run with:
+//
+//	go run ./examples/bursty_traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mcnet"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/system"
+	"mcnet/internal/workload"
+)
+
+func main() {
+	org := mcnet.Table1Org2()
+	par := mcnet.DefaultParams()
+
+	sat, err := mcnet.SaturationPoint(org, par)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambda := 0.4 * sat
+	analysis, err := mcnet.Analyze(org, par, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Org2 (N=544, C=16, m=4), λ_g = %.4g (40%% of saturation)\n", lambda)
+	fmt.Printf("Poisson/fixed-M model prediction: %.2f time units\n\n", analysis)
+
+	// The workload grid: same mean rate and mean length everywhere — the
+	// bimodal mix 0.2·128 + 0.8·8 = 32 flits preserves M — so every latency
+	// difference below is pure variability, the dimension the model ignores.
+	workloads := []struct {
+		name    string
+		arrival workload.Arrival
+		sizes   workload.SizeDist
+	}{
+		{"poisson / fixed (the model's assumptions)", nil, nil},
+		{"deterministic / fixed", workload.Deterministic{}, nil},
+		{"mmpp:16:32 / fixed", workload.MMPP{Peak: 16, Burst: 32}, nil},
+		{"mmpp:64:64 / fixed", workload.MMPP{Peak: 64, Burst: 64}, nil},
+		{"poisson / bimodal:8:128:0.2", nil, workload.Bimodal{Short: 8, Long: 128, PLong: 0.2}},
+		{"mmpp:64:64 / bimodal:8:128:0.2", workload.MMPP{Peak: 64, Burst: 64}, workload.Bimodal{Short: 8, Long: 128, PLong: 0.2}},
+	}
+
+	base := mcsim.Config{
+		Org: org, Par: par, LambdaG: lambda,
+		Warmup: 1000, Measure: 10000, Drain: 1000, Seed: 1,
+	}
+	fmt.Printf("%-40s %10s %12s\n", "workload (arrival / sizes)", "sim mean", "vs model")
+	for _, w := range workloads {
+		cfg := base
+		cfg.Arrival, cfg.Sizes = w.arrival, w.sizes
+		res, err := mcsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %10.2f %11.0f%%\n", w.name, res.Latency.Mean,
+			100*(res.Latency.Mean-analysis)/analysis)
+	}
+
+	// Trace record/replay: record the burstiest run's generation stream …
+	fmt.Println("\nRecording the mmpp:64:64 / bimodal run to a trace …")
+	dir, err := os.MkdirTemp("", "bursty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bursty.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := base
+	cfg.Arrival = workload.MMPP{Peak: 64, Burst: 64}
+	cfg.Sizes = workload.Bimodal{Short: 8, Long: 128, PLong: 0.2}
+	tw, err := workload.NewWriter(f, workload.Header{
+		Org: system.Format(org), Flits: par.MessageFlits, FlitBytes: par.FlitBytes,
+		AlphaNet: par.AlphaNet, AlphaSw: par.AlphaSw, BetaNet: par.BetaNet,
+		Lambda: lambda, Arrival: cfg.Arrival.Name(), Size: cfg.Sizes.Name(),
+		Seed: cfg.Seed, Warmup: cfg.Warmup, Measure: cfg.Measure, Drain: cfg.Drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Record = func(e workload.Event) {
+		if err := tw.Add(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	orig, err := mcsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d events (%d KiB)\n", tw.Events(), info.Size()/1024)
+
+	// … and replay it: same per-message stream, same latencies, bit for bit.
+	tr, err := workload.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repCfg, err := mcnet.ReplayConfig(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := mcsim.Run(repCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original: mean=%.6f over %d messages\n", orig.Latency.Mean, orig.Latency.Count)
+	fmt.Printf("replayed: mean=%.6f over %d messages\n", rep.Latency.Mean, rep.Latency.Count)
+	if rep.Latency == orig.Latency {
+		fmt.Println("replay is bit-exact ✓")
+	} else {
+		fmt.Println("REPLAY DIVERGED — this is a bug")
+	}
+}

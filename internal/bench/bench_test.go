@@ -9,6 +9,7 @@ import (
 	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
+	"mcnet/internal/workload"
 	"mcnet/internal/wormhole"
 )
 
@@ -107,6 +108,22 @@ func BenchmarkMcsimOrg1(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcsim.Run(benchConfig(4000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMcsimBursty runs the same organization under a bursty MMPP
+// arrival process with a bimodal message-length mix — the workload
+// subsystem's hot path (per-node modulation state, per-message length draws,
+// variable-M worms) on top of the simulator's.
+func BenchmarkMcsimBursty(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(4000)
+		cfg.Arrival = workload.MMPP{Peak: 16, Burst: 32}
+		cfg.Sizes = workload.Bimodal{Short: 8, Long: 128, PLong: 0.2}
+		if _, err := mcsim.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

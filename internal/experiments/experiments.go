@@ -411,6 +411,66 @@ func (r Runner) TrafficPatternStudy(org system.Organization, par units.Params, p
 	return series, nil
 }
 
+// WorkloadStudy (Extension 3) sweeps the burstiness × size-mix grid the
+// paper names as future work: arrival processes (Poisson, on-off MMPP at two
+// burstiness levels) crossed with message-length distributions (fixed M and
+// a bimodal short/long mix with the same mean), against the Poisson/fixed-M
+// analytic curve. Where the simulated curves pull away from the analysis is
+// exactly where the model's assumptions 1 and 3 stop carrying.
+func (r Runner) WorkloadStudy(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analytic.New(sys, par, r.Options)
+	if err != nil {
+		return nil, err
+	}
+	sat := model.SaturationPoint(1e-6, 1, 1e-3)
+	if math.IsInf(sat, 1) {
+		return nil, fmt.Errorf("experiments: no saturation point")
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = 0.7 * sat * float64(i+1) / float64(points)
+	}
+	arrivals := []string{"poisson", "mmpp:16:32", "mmpp:64:64"}
+	// The bimodal mix is chosen to preserve the mean length M=32
+	// (0.2·128 + 0.8·8 = 32), isolating the variability effect.
+	sizes := []string{"fixed", "bimodal:8:128:0.2"}
+
+	series := make([]plot.Series, 1, 1+len(arrivals)*len(sizes))
+	series[0] = plot.Series{Label: "analysis poisson/fixed", X: xs, Y: make([]float64, points)}
+	for i, x := range xs {
+		v, err := model.MeanLatency(x)
+		if err != nil {
+			v = math.NaN()
+		}
+		series[0].Y[i] = v
+	}
+	for _, a := range arrivals {
+		for _, d := range sizes {
+			series = append(series, plot.Series{
+				Label: "sim " + a + "/" + strings.SplitN(d, ":", 2)[0],
+				X:     xs, Y: make([]float64, points),
+			})
+		}
+	}
+	spec := r.simSpec("workload-study", org, par, xs)
+	spec.Arrivals = arrivals
+	spec.Sizes = sizes
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int {
+		return [2]int{j.ArrivalIndex*len(sizes) + j.SizeIndex, j.LoadIndex}
+	}) {
+		series[k[0]+1].Y[k[1]] = st.mean
+	}
+	return series, nil
+}
+
 // RoutingAblation (Ablation B) contrasts balanced destination-digit ascent
 // with oblivious random ascent in the simulator, quantifying the switch
 // contention the paper's routing choice avoids.

@@ -156,6 +156,40 @@ func TestTrafficPatternStudy(t *testing.T) {
 	}
 }
 
+func TestWorkloadStudy(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.WorkloadStudy(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("series = %d, want 7 (analysis + 3 arrivals × 2 sizes)", len(series))
+	}
+	if series[0].Label != "analysis poisson/fixed" {
+		t.Fatalf("series[0] = %q, want the analytic reference", series[0].Label)
+	}
+	// Every simulation series must be populated (no zero holes from a bad
+	// aggregation key) …
+	for _, s := range series[1:] {
+		for i, y := range s.Y {
+			if y <= 0 || math.IsNaN(y) {
+				t.Errorf("%s point %d: unpopulated latency %v", s.Label, i, y)
+			}
+		}
+	}
+	// … and at the highest load the burstiest workload must diverge upward
+	// from Poisson/fixed — the divergence this study exists to quantify.
+	last := len(series[1].Y) - 1
+	poisson, burstiest := series[1], series[5] // mmpp:64:64 / fixed
+	if !strings.Contains(burstiest.Label, "mmpp:64:64") {
+		t.Fatalf("series[5] = %q, want the mmpp:64:64/fixed row", burstiest.Label)
+	}
+	if !(burstiest.Y[last] > 1.2*poisson.Y[last]) {
+		t.Errorf("burstiest workload %v not clearly above poisson %v at the top load",
+			burstiest.Y[last], poisson.Y[last])
+	}
+}
+
 func TestRoutingAblation(t *testing.T) {
 	r := NewRunner(tinyScale())
 	series, err := r.RoutingAblation(tinyOrg(), units.Default(), 3)

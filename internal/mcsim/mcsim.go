@@ -49,6 +49,7 @@ import (
 	"mcnet/internal/system"
 	"mcnet/internal/traffic"
 	"mcnet/internal/units"
+	"mcnet/internal/workload"
 	"mcnet/internal/wormhole"
 )
 
@@ -74,6 +75,28 @@ type Config struct {
 	RoutingMode routing.Mode
 	// MaxEvents bounds the event count as a safety net (0 = 2^40).
 	MaxEvents uint64
+
+	// Arrival optionally replaces the Poisson arrival process (paper
+	// assumption 1) with another mean-rate-preserving process, e.g.
+	// workload.MMPP for bursty on-off sources. Every node gets its own
+	// process instance driven by its own RNG stream.
+	Arrival workload.Arrival
+	// Sizes optionally replaces the fixed message length (paper assumption 3)
+	// with a per-message distribution; Par.MessageFlits serves as the base M
+	// passed to the distribution.
+	Sizes workload.SizeDist
+	// Record, if non-nil, receives every generated message in generation
+	// order — the stream a workload.Writer serializes as a trace.
+	Record func(workload.Event)
+	// Replay, if non-nil, re-launches this recorded generation stream instead
+	// of sampling one: times, endpoints, lengths and routing selectors come
+	// from the events, no generation randomness is consumed, and a trace
+	// recorded from an identical organization replays bit-exactly. Events
+	// must be time-ordered with valid endpoints (see workload.Read).
+	Replay []workload.Event
+	// OnDeliver, if non-nil, observes every delivered message (its generation
+	// index, whether it fell in the measurement window, and its latency).
+	OnDeliver func(id uint64, measured bool, latency float64)
 }
 
 // Result summarizes one run.
@@ -116,6 +139,7 @@ type message struct {
 	dstCl    int
 	genTime  float64
 	measured bool
+	flits    int    // message length M of this message
 	sel1     uint64 // ECN1 ascent root selector
 	sel2     uint64 // ICN2 route selector (random mode only)
 	sel3     uint64 // ECN1 descent root selector
@@ -158,8 +182,16 @@ type Sim struct {
 	rates     []float64
 	nodeCl    []int32
 	nodeLocal []int32
-	genCount  int
-	genCap    int
+	// arr holds per-node arrival processes for non-Poisson workloads; nil
+	// selects the allocation-free default (exponential inter-arrivals at
+	// rates[n], bit-identical with pre-workload simulator versions).
+	arr []workload.Process
+	// sizes draws per-message lengths; nil means fixed Par.MessageFlits.
+	sizes workload.SizeDist
+	// replay, when non-nil, is the recorded generation stream being re-run.
+	replay   []workload.Event
+	genCount int
+	genCap   int
 
 	latency      stats.Running
 	intraLatency stats.Running
@@ -176,7 +208,7 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Par.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.LambdaG <= 0 {
+	if cfg.LambdaG <= 0 && cfg.Replay == nil {
 		return nil, fmt.Errorf("mcsim: LambdaG %v must be positive", cfg.LambdaG)
 	}
 	if cfg.Warmup < 0 || cfg.Measure <= 0 || cfg.Drain < 0 {
@@ -256,7 +288,74 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.perCluster = make([]stats.Running, sys.C())
 	s.genCap = cfg.Warmup + cfg.Measure + cfg.Drain
+	if err := s.setupWorkload(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// setupWorkload materializes the configured arrival processes, size
+// distribution and replay stream. The defaults (Poisson, fixed M, no replay)
+// leave every field nil, keeping the original allocation-free hot path.
+func (s *Sim) setupWorkload() error {
+	cfg := &s.cfg
+	if cfg.Replay != nil {
+		if len(cfg.Replay) == 0 {
+			return fmt.Errorf("mcsim: empty replay stream")
+		}
+		if cfg.Warmup+cfg.Measure > len(cfg.Replay) {
+			return fmt.Errorf("mcsim: replay stream has %d events, fewer than warmup+measure = %d",
+				len(cfg.Replay), cfg.Warmup+cfg.Measure)
+		}
+		if len(cfg.Replay) > math.MaxInt32 {
+			return fmt.Errorf("mcsim: replay stream too long (%d events)", len(cfg.Replay))
+		}
+		n := s.sys.TotalNodes()
+		prev := 0.0
+		for i := range cfg.Replay {
+			ev := &cfg.Replay[i]
+			// The inclusive comparison rejects NaN times (which would slip
+			// through ordering checks and panic inside the scheduler), and
+			// +Inf is an event that never fires.
+			if !(ev.T >= prev) || math.IsInf(ev.T, 1) {
+				return fmt.Errorf("mcsim: replay event %d: time %v out of order or not finite", i, ev.T)
+			}
+			prev = ev.T
+			if int(ev.Src) >= n || ev.Src < 0 || int(ev.Dst) >= n || ev.Dst < 0 || ev.Src == ev.Dst {
+				return fmt.Errorf("mcsim: replay event %d: bad endpoints %d→%d for %d nodes", i, ev.Src, ev.Dst, n)
+			}
+			if ev.Flits <= 0 {
+				return fmt.Errorf("mcsim: replay event %d: non-positive length %d", i, ev.Flits)
+			}
+		}
+		s.replay = cfg.Replay
+		if len(s.replay) < s.genCap {
+			s.genCap = len(s.replay)
+		}
+		return nil
+	}
+	if cfg.Arrival != nil {
+		if _, isDefault := cfg.Arrival.(workload.Poisson); !isDefault {
+			s.arr = make([]workload.Process, s.sys.TotalNodes())
+			for n := range s.arr {
+				s.arr[n] = cfg.Arrival.NewProcess(s.rates[n])
+			}
+		}
+	}
+	if cfg.Sizes != nil {
+		if _, isDefault := cfg.Sizes.(workload.Fixed); !isDefault {
+			s.sizes = cfg.Sizes
+		}
+	}
+	return nil
+}
+
+// nextArrival draws node's next inter-arrival time from its process.
+func (s *Sim) nextArrival(node int, r *rng.Source) float64 {
+	if s.arr != nil {
+		return s.arr[node].Next(r)
+	}
+	return r.Exp(s.rates[node])
 }
 
 // System returns the materialized system (for tests and tools).
@@ -278,21 +377,36 @@ func hash64(x uint64) uint64 {
 // measurement phase.
 var ErrTruncated = errors.New("mcsim: event budget exhausted before measurement completed")
 
-// opGenerate is the Sim's single des.Handler event kind: node arg generates
-// its next message. Generation shares the scheduler's allocation-free fast
-// path with the wormhole engine.
-const opGenerate int32 = 0
+// Event discriminators of the Sim's des.Handler. Generation shares the
+// scheduler's allocation-free fast path with the wormhole engine.
+const (
+	// opGenerate: node arg generates its next message.
+	opGenerate int32 = iota
+	// opReplay: re-launch recorded event arg of the replay stream.
+	opReplay
+)
 
 // HandleEvent implements des.Handler.
-func (s *Sim) HandleEvent(op, arg int32) { s.generate(int(arg)) }
+func (s *Sim) HandleEvent(op, arg int32) {
+	if op == opReplay {
+		s.replayGenerate(int(arg))
+		return
+	}
+	s.generate(int(arg))
+}
 
 // Run executes the simulation to completion and returns the measurements.
 // The returned error is non-nil only for truncated runs; the Result is
 // meaningful (partial) in that case too.
 func (s *Sim) Run() (Result, error) {
-	// Prime every node's first generation event.
-	for n := 0; n < s.sys.TotalNodes(); n++ {
-		s.sched.Call(s.nodeRNG[n].Exp(s.rates[n]), s.hid, opGenerate, int32(n))
+	// Prime the generation stream: every node's first arrival, or the first
+	// recorded event when replaying (each event then chains the next).
+	if s.replay != nil {
+		s.sched.Call(s.replay[0].T, s.hid, opReplay, 0)
+	} else {
+		for n := 0; n < s.sys.TotalNodes(); n++ {
+			s.sched.Call(s.nextArrival(n, &s.nodeRNG[n]), s.hid, opGenerate, int32(n))
+		}
 	}
 	maxEvents := s.cfg.MaxEvents
 	if maxEvents == 0 {
@@ -355,6 +469,12 @@ func (s *Sim) generate(node int) {
 	m.dstCl = int(s.nodeCl[m.dst])
 	m.genTime = s.sched.Now()
 	m.measured = idx >= s.cfg.Warmup && idx < s.cfg.Warmup+s.cfg.Measure
+	// RNG consumption order is frozen (destination, then length, then
+	// selectors): golden fixtures depend on it.
+	m.flits = s.cfg.Par.MessageFlits
+	if s.sizes != nil {
+		m.flits = s.sizes.Flits(s.cfg.Par.MessageFlits, r)
+	}
 	if s.cfg.RoutingMode == routing.RandomUp {
 		m.sel1, m.sel2, m.sel3 = r.Uint64(), r.Uint64(), r.Uint64()
 	} else {
@@ -362,10 +482,48 @@ func (s *Sim) generate(node int) {
 		m.sel2 = 0 // balanced ICN2 routing uses destination digits
 		m.sel3 = hash64(uint64(m.dst))
 	}
+	if s.cfg.Record != nil {
+		s.cfg.Record(workload.Event{
+			T: m.genTime, Src: int32(m.src), Dst: int32(m.dst), Flits: int32(m.flits),
+			Sel1: m.sel1, Sel2: m.sel2, Sel3: m.sel3,
+		})
+	}
 	s.launch(m)
 
 	if s.genCount < s.genCap {
-		s.sched.CallAfter(r.Exp(s.rates[node]), s.hid, opGenerate, int32(node))
+		s.sched.CallAfter(s.nextArrival(node, r), s.hid, opGenerate, int32(node))
+	}
+}
+
+// replayGenerate re-launches recorded event i: the message's birth time is
+// the event's (the scheduler invoked us at exactly that time), and its
+// endpoints, length and selectors are taken verbatim, so no generation
+// randomness is consumed and the recorded run is reproduced bit-exactly.
+func (s *Sim) replayGenerate(i int) {
+	if s.genCount >= s.genCap {
+		return
+	}
+	ev := &s.replay[i]
+	idx := s.genCount
+	s.genCount++
+
+	m := s.getMessage()
+	m.id = uint64(idx)
+	m.src = int(ev.Src)
+	m.dst = int(ev.Dst)
+	m.srcCl = int(s.nodeCl[m.src])
+	m.dstCl = int(s.nodeCl[m.dst])
+	m.genTime = s.sched.Now()
+	m.measured = idx >= s.cfg.Warmup && idx < s.cfg.Warmup+s.cfg.Measure
+	m.flits = int(ev.Flits)
+	m.sel1, m.sel2, m.sel3 = ev.Sel1, ev.Sel2, ev.Sel3
+	if s.cfg.Record != nil {
+		s.cfg.Record(*ev)
+	}
+	s.launch(m)
+
+	if i+1 < len(s.replay) && s.genCount < s.genCap {
+		s.sched.Call(s.replay[i+1].T, s.hid, opReplay, int32(i+1))
 	}
 }
 
@@ -394,14 +552,17 @@ func (s *Sim) launch(m *message) {
 		path = dst.table.AppendDownFromRoot(path, dst.ecn1Base, dstRootY, int(s.nodeLocal[m.dst]))
 	}
 	m.pathBuf = path
-	m.worm.Reset(m.id, path, s.cfg.Par.MessageFlits, m.onDone)
+	m.worm.Reset(m.id, path, m.flits, m.onDone)
 	s.net.Inject(&m.worm)
 }
 
 // deliver records the end-to-end latency of a completed message.
 func (s *Sim) deliver(m *message) {
+	lat := s.sched.Now() - m.genTime
+	if s.cfg.OnDeliver != nil {
+		s.cfg.OnDeliver(m.id, m.measured, lat)
+	}
 	if m.measured {
-		lat := s.sched.Now() - m.genTime
 		s.latency.Add(lat)
 		s.sourceWait.Add(m.worm.SourceWait())
 		s.perCluster[m.srcCl].Add(lat)

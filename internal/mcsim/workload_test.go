@@ -1,0 +1,185 @@
+package mcsim
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/routing"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+	"mcnet/internal/workload"
+)
+
+// workloadConfig is a small heterogeneous system under a bursty, mixed-size,
+// random-up workload — every recorded field of a trace event is load-bearing.
+func workloadConfig() Config {
+	org, err := system.ParseOrganization("m=4:2x1,2x2@2")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Org: org, Par: units.Default(), LambdaG: 2e-4,
+		Warmup: 50, Measure: 400, Drain: 50, Seed: 99,
+		RoutingMode: routing.RandomUp,
+		Arrival:     workload.MMPP{Peak: 8, Burst: 16},
+		Sizes:       workload.Bimodal{Short: 8, Long: 128, PLong: 0.2},
+	}
+}
+
+// TestTraceReplayBitExact is the trace contract: record a run's generation
+// stream, replay it, and every single message must arrive with the identical
+// latency — not approximately, bit for bit.
+func TestTraceReplayBitExact(t *testing.T) {
+	cfg := workloadConfig()
+
+	var events []workload.Event
+	recLat := make(map[uint64]float64)
+	cfg.Record = func(e workload.Event) { events = append(events, e) }
+	cfg.OnDeliver = func(id uint64, measured bool, lat float64) { recLat[id] = lat }
+	recRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != recRes.Generated {
+		t.Fatalf("recorded %d events, generated %d", len(events), recRes.Generated)
+	}
+
+	repLat := make(map[uint64]float64)
+	repCfg := workloadConfig()
+	repCfg.Arrival, repCfg.Sizes = nil, nil // replay must not need the generators
+	repCfg.Replay = events
+	repCfg.OnDeliver = func(id uint64, measured bool, lat float64) { repLat[id] = lat }
+	repRes, err := Run(repCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(repLat) != len(recLat) {
+		t.Fatalf("replay delivered %d messages, recording delivered %d", len(repLat), len(recLat))
+	}
+	for id, lat := range recLat {
+		if got, ok := repLat[id]; !ok || got != lat {
+			t.Fatalf("message %d: replay latency %v, recorded %v (bit-exact replay broken)", id, got, lat)
+		}
+	}
+	if recRes.Latency != repRes.Latency {
+		t.Errorf("summary diverged:\nrecorded %+v\nreplayed %+v", recRes.Latency, repRes.Latency)
+	}
+	if recRes.Events != repRes.Events {
+		t.Errorf("event counts diverged: recorded %d, replayed %d", recRes.Events, repRes.Events)
+	}
+}
+
+// TestExplicitDefaultsMatchNil: passing workload.Poisson and workload.Fixed
+// explicitly must be bit-identical with leaving the fields nil — the
+// defaults are detected and keep the original fast path (and its RNG
+// consumption) intact.
+func TestExplicitDefaultsMatchNil(t *testing.T) {
+	base := Config{
+		Org: system.Table1Org2(), Par: units.Default(), LambdaG: 1e-4,
+		Warmup: 50, Measure: 400, Drain: 50, Seed: 3,
+	}
+	implicit, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Arrival = workload.Poisson{}
+	base.Sizes = workload.Fixed{}
+	explicit, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Latency != explicit.Latency || implicit.Events != explicit.Events {
+		t.Fatalf("explicit defaults diverged from nil config:\nnil      %+v (%d events)\nexplicit %+v (%d events)",
+			implicit.Latency, implicit.Events, explicit.Latency, explicit.Events)
+	}
+}
+
+// TestBurstinessRaisesLatency: at the same mean offered load, a bursty MMPP
+// workload must queue more than Poisson, which must queue more than
+// deterministic injection — the physics the workload axis exists to expose.
+func TestBurstinessRaisesLatency(t *testing.T) {
+	mean := func(a workload.Arrival) float64 {
+		cfg := Config{
+			Org: system.Table1Org2(), Par: units.Default(), LambdaG: 3.5e-4,
+			Warmup: 200, Measure: 3000, Drain: 200, Seed: 5, Arrival: a,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean
+	}
+	det := mean(workload.Deterministic{})
+	poi := mean(nil)
+	bur := mean(workload.MMPP{Peak: 64, Burst: 64})
+	if !(det < poi && poi < bur) {
+		t.Fatalf("latency not ordered by burstiness: deterministic %.3f < poisson %.3f < mmpp %.3f expected",
+			det, poi, bur)
+	}
+	if bur < 1.5*poi {
+		t.Errorf("mmpp latency %.3f not clearly above poisson %.3f at this load", bur, poi)
+	}
+}
+
+// TestSizeMixChangesServiceTimes: a bimodal mix whose mean length is far
+// below the base M must deliver lower latency than fixed-M; a heavy mix far
+// above, higher.
+func TestSizeMixChangesServiceTimes(t *testing.T) {
+	mean := func(d workload.SizeDist) float64 {
+		cfg := Config{
+			Org: system.Table1Org2(), Par: units.Default(), LambdaG: 1e-4,
+			Warmup: 100, Measure: 1500, Drain: 100, Seed: 8, Sizes: d,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean
+	}
+	fixed := mean(nil) // M = 32
+	light := mean(workload.Bimodal{Short: 4, Long: 32, PLong: 0.1})
+	heavy := mean(workload.Bimodal{Short: 32, Long: 256, PLong: 0.5})
+	if !(light < fixed && fixed < heavy) {
+		t.Fatalf("latency not ordered by size mix: light %.3f < fixed %.3f < heavy %.3f expected",
+			light, fixed, heavy)
+	}
+}
+
+// TestReplayValidation exercises the replay stream checks.
+func TestReplayValidation(t *testing.T) {
+	org := system.Table1Org2()
+	base := Config{
+		Org: org, Par: units.Default(),
+		Warmup: 0, Measure: 1, Drain: 0, Seed: 1,
+	}
+	ok := workload.Event{T: 1, Src: 0, Dst: 1, Flits: 4}
+	for name, events := range map[string][]workload.Event{
+		"empty":          {},
+		"out of order":   {{T: 2, Src: 0, Dst: 1, Flits: 4}, {T: 1, Src: 1, Dst: 0, Flits: 4}},
+		"negative time":  {{T: -1, Src: 0, Dst: 1, Flits: 4}},
+		"nan time":       {{T: math.NaN(), Src: 0, Dst: 1, Flits: 4}},
+		"nan masks tail": {{T: math.NaN(), Src: 0, Dst: 1, Flits: 4}, {T: 1, Src: 1, Dst: 0, Flits: 4}},
+		"infinite time":  {{T: math.Inf(1), Src: 0, Dst: 1, Flits: 4}},
+		"self loop":      {{T: 1, Src: 3, Dst: 3, Flits: 4}},
+		"node range":     {{T: 1, Src: 0, Dst: 100000, Flits: 4}},
+		"zero flits":     {{T: 1, Src: 0, Dst: 1, Flits: 0}},
+		"short of phase": {ok}, // warmup+measure = 2 below
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			cfg.Replay = events
+			if name == "short of phase" {
+				cfg.Measure = 2
+			}
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted invalid replay stream %q", name)
+			}
+		})
+	}
+	cfg := base
+	cfg.Replay = []workload.Event{ok}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("New rejected a valid replay stream: %v", err)
+	}
+}

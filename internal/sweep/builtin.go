@@ -41,13 +41,26 @@ func Builtin(name string) (Spec, bool) {
 			Loads:    Loads{Points: 4, MaxFraction: 0.7},
 			Warmup:   300, Measure: 3000, Drain: 300,
 		}, true
+	case "bursty":
+		// The workload grid behind the burstiness×size-mix study: how far
+		// does the Poisson/fixed-M analytic model carry under traffic it
+		// does not model?
+		return Spec{
+			Name:     "bursty",
+			Orgs:     []string{"org2"},
+			Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+			Arrivals: []string{"poisson", "mmpp:16:32", "mmpp:64:64"},
+			Sizes:    []string{"fixed", "bimodal:8:128:0.2"},
+			Loads:    Loads{Points: 6, MaxFraction: 0.8},
+			Warmup:   10000, Measure: 100000, Drain: 10000,
+		}, true
 	}
 	return Spec{}, false
 }
 
 // BuiltinNames lists the predefined sweeps in stable order.
 func BuiltinNames() []string {
-	names := []string{"fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64", "demo"}
+	names := []string{"fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64", "demo", "bursty"}
 	sort.Strings(names)
 	return names
 }
@@ -56,11 +69,12 @@ func BuiltinNames() []string {
 // job with its axis values, derived seed and cache-key prefix.
 func FormatGrid(jobs []Job) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s  %-24s %3s %5s %-18s %-10s %12s %4s %-20s %s\n",
-		"index", "org", "M", "Lm", "pattern", "routing", "lambda", "rep", "sim_seed", "key")
+	fmt.Fprintf(&b, "%5s  %-24s %3s %5s %-18s %-10s %-14s %-18s %12s %4s %-20s %s\n",
+		"index", "org", "M", "Lm", "pattern", "routing", "arrival", "size", "lambda", "rep", "sim_seed", "key")
 	for _, j := range jobs {
-		fmt.Fprintf(&b, "%5d  %-24s %3d %5d %-18s %-10s %12.5g %4d %-20d %s\n",
+		fmt.Fprintf(&b, "%5d  %-24s %3d %5d %-18s %-10s %-14s %-18s %12.5g %4d %-20d %s\n",
 			j.Index, j.Org, j.Flits, j.FlitBytes, j.Pattern, j.Routing,
+			j.ArrivalName(), j.SizeName(),
 			j.Lambda, j.Rep, j.SimSeed, j.Key()[:12])
 	}
 	fmt.Fprintf(&b, "%d jobs\n", len(jobs))

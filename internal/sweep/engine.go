@@ -10,6 +10,7 @@ import (
 	"mcnet/internal/mcsim"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
+	"mcnet/internal/workload"
 )
 
 // Result is one emitted row of a sweep: the job, the attached analytic
@@ -226,6 +227,14 @@ func Execute(j Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	arrival, err := workload.ParseArrival(j.Arrival)
+	if err != nil {
+		return Outcome{}, err
+	}
+	sizes, err := workload.ParseSize(j.SizeDist)
+	if err != nil {
+		return Outcome{}, err
+	}
 	par := units.Params{
 		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
 		FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
@@ -234,6 +243,7 @@ func Execute(j Job) (Outcome, error) {
 		Org: org, Par: par, LambdaG: j.Lambda,
 		Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
 		Seed: j.SimSeed, Pattern: pattern, RoutingMode: mode,
+		Arrival: arrival, Sizes: sizes,
 	})
 	if err != nil && !res.Truncated {
 		return Outcome{}, err

@@ -11,6 +11,7 @@ import (
 
 	"mcnet/internal/analytic"
 	"mcnet/internal/system"
+	"mcnet/internal/workload"
 )
 
 // Job is one fully resolved simulation of the expanded grid. The exported
@@ -29,6 +30,12 @@ type Job struct {
 	// ParseRouting).
 	Pattern string `json:"pattern"`
 	Routing string `json:"routing"`
+	// Arrival and SizeDist are the canonical workload axis spec strings. The
+	// empty string encodes the defaults (Poisson arrivals, fixed-length
+	// messages) and is omitted from the identity, so jobs of pre-workload
+	// specs keep their cache keys and derived seeds.
+	Arrival  string `json:"arrival,omitempty"`
+	SizeDist string `json:"size_dist,omitempty"`
 	// Lambda is λ_g, the per-node offered traffic.
 	Lambda float64 `json:"lambda"`
 	// Rep is the replication index; SimSeed is the derived simulator seed.
@@ -50,14 +57,35 @@ type Job struct {
 	MsgIndex     int `json:"msg_index"`
 	PatternIndex int `json:"pattern_index"`
 	RoutingIndex int `json:"routing_index"`
+	ArrivalIndex int `json:"arrival_index"`
+	SizeIndex    int `json:"size_index"`
 	LoadIndex    int `json:"load_index"`
 }
 
+// ArrivalName returns the arrival axis value with the default made explicit.
+func (j Job) ArrivalName() string {
+	if j.Arrival == "" {
+		return "poisson"
+	}
+	return j.Arrival
+}
+
+// SizeName returns the size axis value with the default made explicit.
+func (j Job) SizeName() string {
+	if j.SizeDist == "" {
+		return "fixed"
+	}
+	return j.SizeDist
+}
+
 // identity renders the outcome-determining fields canonically. Floats use
-// hex notation, which round-trips every bit.
+// hex notation, which round-trips every bit. The workload fields are
+// appended only when they deviate from the defaults, so every identity (and
+// hence cache key and derived seed) from before the workload axes existed is
+// preserved verbatim.
 func (j Job) identity() string {
 	hf := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
-	return strings.Join([]string{
+	parts := []string{
 		"org=" + j.Org,
 		"flits=" + strconv.Itoa(j.Flits),
 		"flitbytes=" + strconv.Itoa(j.FlitBytes),
@@ -72,7 +100,14 @@ func (j Job) identity() string {
 		"measure=" + strconv.Itoa(j.Measure),
 		"drain=" + strconv.Itoa(j.Drain),
 		"seed=" + strconv.FormatUint(j.SimSeed, 10),
-	}, "|")
+	}
+	if j.Arrival != "" {
+		parts = append(parts, "arrival="+j.Arrival)
+	}
+	if j.SizeDist != "" {
+		parts = append(parts, "size="+j.SizeDist)
+	}
+	return strings.Join(parts, "|")
 }
 
 // Key returns the job's content hash, the cache key of its simulation
@@ -95,13 +130,22 @@ func deriveSeed(base uint64, j Job) uint64 {
 }
 
 // Expand normalizes and validates the spec and returns its full job grid in
-// the canonical order org → message → pattern → routing → load → rep.
+// the canonical order org → message → pattern → routing → arrival → size →
+// load → rep.
 func Expand(spec Spec) ([]Job, error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	grids, err := loadGrids(spec)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := canonicalArrivals(spec.Arrivals)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := canonicalSizes(spec.Sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -115,32 +159,40 @@ func Expand(spec Spec) ([]Job, error) {
 			par := spec.params(msg)
 			for pi, pat := range spec.Patterns {
 				for ri, rt := range spec.Routing {
-					for li, lambda := range grids[oi] {
-						for rep := 0; rep < spec.Reps; rep++ {
-							j := Job{
-								Org:       canonical,
-								Flits:     msg.Flits,
-								FlitBytes: msg.FlitBytes,
-								Pattern:   pat,
-								Routing:   rt,
-								Lambda:    lambda,
-								Rep:       rep,
-								AlphaNet:  par.AlphaNet,
-								AlphaSw:   par.AlphaSw,
-								BetaNet:   par.BetaNet,
-								Warmup:    spec.Warmup,
-								Measure:   spec.Measure,
-								Drain:     spec.Drain,
+					for ai, arr := range arrivals {
+						for si, sz := range sizes {
+							for li, lambda := range grids[oi] {
+								for rep := 0; rep < spec.Reps; rep++ {
+									j := Job{
+										Org:       canonical,
+										Flits:     msg.Flits,
+										FlitBytes: msg.FlitBytes,
+										Pattern:   pat,
+										Routing:   rt,
+										Arrival:   arr,
+										SizeDist:  sz,
+										Lambda:    lambda,
+										Rep:       rep,
+										AlphaNet:  par.AlphaNet,
+										AlphaSw:   par.AlphaSw,
+										BetaNet:   par.BetaNet,
+										Warmup:    spec.Warmup,
+										Measure:   spec.Measure,
+										Drain:     spec.Drain,
 
-								Index:        len(jobs),
-								OrgIndex:     oi,
-								MsgIndex:     mi,
-								PatternIndex: pi,
-								RoutingIndex: ri,
-								LoadIndex:    li,
+										Index:        len(jobs),
+										OrgIndex:     oi,
+										MsgIndex:     mi,
+										PatternIndex: pi,
+										RoutingIndex: ri,
+										ArrivalIndex: ai,
+										SizeIndex:    si,
+										LoadIndex:    li,
+									}
+									j.SimSeed = deriveSeed(spec.BaseSeed, j)
+									jobs = append(jobs, j)
+								}
 							}
-							j.SimSeed = deriveSeed(spec.BaseSeed, j)
-							jobs = append(jobs, j)
 						}
 					}
 				}
@@ -148,6 +200,38 @@ func Expand(spec Spec) ([]Job, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// canonicalArrivals maps arrival axis specs to canonical names, with the
+// default (Poisson) encoded as the empty string (see Job.Arrival).
+func canonicalArrivals(specs []string) ([]string, error) {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		a, err := workload.ParseArrival(spec)
+		if err != nil {
+			return nil, err
+		}
+		if name := a.Name(); name != (workload.Poisson{}).Name() {
+			out[i] = name
+		}
+	}
+	return out, nil
+}
+
+// canonicalSizes maps size axis specs to canonical names, with the default
+// (fixed) encoded as the empty string (see Job.SizeDist).
+func canonicalSizes(specs []string) ([]string, error) {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		d, err := workload.ParseSize(spec)
+		if err != nil {
+			return nil, err
+		}
+		if name := d.Name(); name != (workload.Fixed{}).Name() {
+			out[i] = name
+		}
+	}
+	return out, nil
 }
 
 // canonicalOrg maps any accepted organization spec (including the "org1"

@@ -12,16 +12,18 @@ import (
 // and which is bit-reproducible (the determinism the cache keys and derived
 // seeds rest on).
 func FuzzExpand(f *testing.F) {
-	f.Add("m=4:2x1,2x2", "uniform", "balanced", 1e-4, 2e-4, uint64(1), 2, 1)
-	f.Add("org1", "hotspot:0.25", "random-up", 5e-5, 0.0, uint64(42), 1, 2)
-	f.Add("m=4:3x2@1.5", "cluster-local:0.9", "balanced", 1e-3, 1e-3, uint64(0), 3, 3)
-	f.Add("", "uniform", "balanced", 1e-4, 0.0, uint64(7), 1, 1)
-	f.Add("m=4:2x1", "hotspot:1.1", "balanced", 1e-4, 0.0, uint64(7), 1, 1)
-	f.Add("m=4:2x1", "uniform", "sideways", 1e-4, 0.0, uint64(7), 1, 1)
-	f.Add("m=4:2x1", "uniform", "balanced", -1.0, 0.0, uint64(7), 1, 1)
-	f.Add("m=4:2x1", "uniform", "balanced", math.NaN(), 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1,2x2", "uniform", "balanced", "poisson", "fixed", 1e-4, 2e-4, uint64(1), 2, 1)
+	f.Add("org1", "hotspot:0.25", "random-up", "mmpp:8:16", "bimodal:8:128:0.2", 5e-5, 0.0, uint64(42), 1, 2)
+	f.Add("m=4:3x2@1.5", "cluster-local:0.9", "balanced", "deterministic", "geometric:32", 1e-3, 1e-3, uint64(0), 3, 3)
+	f.Add("", "uniform", "balanced", "poisson", "fixed", 1e-4, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "hotspot:1.1", "balanced", "poisson", "fixed", 1e-4, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "uniform", "sideways", "poisson", "fixed", 1e-4, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "uniform", "balanced", "mmpp:1:1", "fixed", 1e-4, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "uniform", "balanced", "poisson", "bimodal:128:8:0.2", 1e-4, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "uniform", "balanced", "poisson", "fixed", -1.0, 0.0, uint64(7), 1, 1)
+	f.Add("m=4:2x1", "uniform", "balanced", "poisson", "fixed", math.NaN(), 0.0, uint64(7), 1, 1)
 
-	f.Fuzz(func(t *testing.T, org, pattern, routing string, l1, l2 float64, baseSeed uint64, reps, flits int) {
+	f.Fuzz(func(t *testing.T, org, pattern, routing, arrival, size string, l1, l2 float64, baseSeed uint64, reps, flits int) {
 		lambdas := []float64{l1}
 		if l2 != 0 {
 			lambdas = append(lambdas, l2)
@@ -31,6 +33,8 @@ func FuzzExpand(f *testing.F) {
 			Orgs:     []string{org},
 			Patterns: []string{pattern},
 			Routing:  []string{routing},
+			Arrivals: []string{arrival},
+			Sizes:    []string{size},
 			Loads:    Loads{Lambdas: lambdas},
 			Warmup:   5, Measure: 50, Drain: 5,
 			BaseSeed: baseSeed,
@@ -49,7 +53,8 @@ func FuzzExpand(f *testing.F) {
 		}
 		norm := spec.Normalized()
 		want := len(norm.Orgs) * len(norm.Messages) * len(norm.Patterns) *
-			len(norm.Routing) * len(lambdas) * norm.Reps
+			len(norm.Routing) * len(norm.Arrivals) * len(norm.Sizes) *
+			len(lambdas) * norm.Reps
 		if len(jobs) != want {
 			t.Fatalf("grid size %d, want axis product %d", len(jobs), want)
 		}

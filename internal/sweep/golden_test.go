@@ -43,12 +43,31 @@ func goldenAxesSpec() Spec {
 	}
 }
 
+// goldenWorkloadSpec exercises the workload axes: bursty MMPP and
+// phase-randomized deterministic arrivals crossed with bimodal and geometric
+// message-length mixes, under both routing modes.
+func goldenWorkloadSpec() Spec {
+	return Spec{
+		Name:     "golden-workload",
+		Orgs:     []string{"m=4:2x1,2x2@2"},
+		Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+		Routing:  []string{"balanced", "random-up"},
+		Arrivals: []string{"mmpp:8:16", "deterministic"},
+		Sizes:    []string{"bimodal:8:128:0.2", "geometric:32"},
+		Loads:    Loads{Lambdas: []float64{2e-4}},
+		Warmup:   100, Measure: 800, Drain: 100,
+		Reps:     2,
+		BaseSeed: 7,
+	}
+}
+
 // runCSV executes the spec at the given worker count and returns the CSV
 // sink's bytes.
 func runCSV(t *testing.T, spec Spec, workers int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	sink := NewCSVSink(&buf)
+	sink.Workload = spec.HasWorkloadAxes()
 	eng := &Engine{Workers: workers, Sinks: []Sink{sink}}
 	if _, err := eng.Run(spec); err != nil {
 		t.Fatalf("engine: %v", err)
@@ -74,6 +93,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	}{
 		{"golden_fig3_m32.csv", goldenFigureSpec()},
 		{"golden_axes.csv", goldenAxesSpec()},
+		{"golden_workload.csv", goldenWorkloadSpec()},
 	} {
 		t.Run(tc.spec.Name, func(t *testing.T) {
 			t.Parallel()

@@ -23,10 +23,20 @@ var CSVHeader = []string{
 	"sim_latency", "sim_source_wait", "sim_pout", "delivered", "truncated",
 }
 
+// CSVWorkloadColumns are the extra columns a workload-aware sink appends
+// (see CSVSink.Workload).
+var CSVWorkloadColumns = []string{"arrival", "size_dist"}
+
 // CSVSink streams results as CSV rows (RFC 4180 quoting: organization specs
 // contain commas). Output is deterministic: floats use the shortest exact
 // decimal representation and NaN prints as "NaN".
 type CSVSink struct {
+	// Workload, when set before the first Write, appends the
+	// CSVWorkloadColumns to every row. It is opt-in (keyed off
+	// Spec.HasWorkloadAxes by the CLI) so sweeps over the paper's default
+	// workload keep producing byte-identical files to pre-workload versions.
+	Workload bool
+
 	w      *csv.Writer
 	headed bool
 }
@@ -46,19 +56,27 @@ func formatFloat(v float64) string {
 func (s *CSVSink) Write(r Result) error {
 	if !s.headed {
 		s.headed = true
-		if err := s.w.Write(CSVHeader); err != nil {
+		header := CSVHeader
+		if s.Workload {
+			header = append(append([]string{}, CSVHeader...), CSVWorkloadColumns...)
+		}
+		if err := s.w.Write(header); err != nil {
 			return err
 		}
 	}
 	j := r.Job
-	return s.w.Write([]string{
+	row := []string{
 		strconv.Itoa(j.Index), j.Org, strconv.Itoa(j.Flits), strconv.Itoa(j.FlitBytes),
 		j.Pattern, j.Routing,
 		formatFloat(j.Lambda), strconv.Itoa(j.Rep), strconv.FormatUint(j.SimSeed, 10), j.Key()[:12],
 		formatFloat(float64(r.Analysis)), strconv.FormatBool(r.AnalysisSaturated),
 		formatFloat(float64(r.SimLatency)), formatFloat(float64(r.SimSourceWait)),
 		formatFloat(float64(r.SimPOut)), strconv.Itoa(r.Delivered), strconv.FormatBool(r.Truncated),
-	})
+	}
+	if s.Workload {
+		row = append(row, j.ArrivalName(), j.SizeName())
+	}
+	return s.w.Write(row)
 }
 
 // Flush drains the buffer to the underlying writer.

@@ -1,6 +1,7 @@
 // Package sweep is the parameter-sweep orchestration engine: it expands a
 // declarative Spec — axes over system organizations, message geometry,
-// traffic pattern, routing policy, offered load and replication seeds — into
+// traffic pattern, routing policy, workload (arrival process and
+// message-length distribution), offered load and replication seeds — into
 // a deterministic list of Jobs, executes them on a bounded worker pool, and
 // streams the results to CSV/JSONL sinks in expansion order.
 //
@@ -38,6 +39,7 @@ import (
 	"mcnet/internal/system"
 	"mcnet/internal/traffic"
 	"mcnet/internal/units"
+	"mcnet/internal/workload"
 )
 
 // MessageGeometry is one point of the message-geometry axis: M flits of
@@ -86,6 +88,15 @@ type Spec struct {
 	// Routing is the routing-policy axis: "balanced" or "random-up".
 	// Default: ["balanced"].
 	Routing []string `json:"routing,omitempty"`
+	// Arrivals is the arrival-process axis: "poisson", "deterministic" or
+	// "mmpp:<peak>:<burst>" (see workload.ParseArrival). Default:
+	// ["poisson"], the paper's assumption 1.
+	Arrivals []string `json:"arrivals,omitempty"`
+	// Sizes is the message-length distribution axis: "fixed",
+	// "bimodal:<short>:<long>:<plong>" or "geometric:<mean>" (see
+	// workload.ParseSize); the message-geometry axis supplies the base M.
+	// Default: ["fixed"], the paper's assumption 3.
+	Sizes []string `json:"sizes,omitempty"`
 	// Loads is the offered-traffic axis.
 	Loads Loads `json:"loads"`
 	// Warmup, Measure and Drain are the simulation phase message counts
@@ -120,6 +131,12 @@ func (s Spec) Normalized() Spec {
 	}
 	if len(s.Routing) == 0 {
 		s.Routing = []string{routing.Balanced.String()}
+	}
+	if len(s.Arrivals) == 0 {
+		s.Arrivals = []string{workload.Poisson{}.Name()}
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []string{workload.Fixed{}.Name()}
 	}
 	if s.Loads.MaxFraction == 0 {
 		s.Loads.MaxFraction = 1.0
@@ -171,6 +188,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 		}
 	}
+	for _, a := range s.Arrivals {
+		if _, err := workload.ParseArrival(a); err != nil {
+			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
+		}
+	}
+	for _, d := range s.Sizes {
+		if _, err := workload.ParseSize(d); err != nil {
+			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
+		}
+	}
 	if len(s.Loads.Lambdas) == 0 && s.Loads.Points <= 0 {
 		return fmt.Errorf("sweep: spec %q: loads need either lambdas or points", s.Name)
 	}
@@ -195,6 +222,23 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 	}
 	return nil
+}
+
+// HasWorkloadAxes reports whether the spec sweeps beyond the paper's default
+// workload (Poisson arrivals, fixed-length messages); sinks use it to decide
+// whether the workload columns carry information.
+func (s Spec) HasWorkloadAxes() bool {
+	for _, spec := range s.Arrivals {
+		if a, err := workload.ParseArrival(spec); err == nil && a.Name() != (workload.Poisson{}).Name() {
+			return true
+		}
+	}
+	for _, spec := range s.Sizes {
+		if d, err := workload.ParseSize(spec); err == nil && d.Name() != (workload.Fixed{}).Name() {
+			return true
+		}
+	}
+	return false
 }
 
 // params resolves the technology parameters for one message geometry.

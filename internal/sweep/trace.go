@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"fmt"
+
+	"mcnet/internal/mcsim"
+	"mcnet/internal/routing"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+	"mcnet/internal/workload"
+)
+
+// TraceHeader renders the job's identity as a workload trace header, so a
+// run recorded from this job carries everything needed to replay it.
+func (j Job) TraceHeader() workload.Header {
+	return workload.Header{
+		Org: j.Org, Flits: j.Flits, FlitBytes: j.FlitBytes,
+		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
+		Lambda:  j.Lambda,
+		Arrival: j.Arrival, Size: j.SizeDist, Pattern: j.Pattern, Routing: j.Routing,
+		Seed:   j.SimSeed,
+		Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
+	}
+}
+
+// ReplayConfig reconstructs the simulator configuration that re-runs a
+// recorded trace bit-exactly: organization, technology parameters, routing
+// mode and measurement phases come from the header, and the generation
+// stream is the recorded events. Change any field of the returned config
+// (organization, routing, technology) before running for trace-driven
+// "what if" evaluation instead.
+func ReplayConfig(tr *workload.Trace) (mcsim.Config, error) {
+	h := tr.Header
+	org, err := system.ParseOrganization(h.Org)
+	if err != nil {
+		return mcsim.Config{}, fmt.Errorf("sweep: trace header: %v", err)
+	}
+	mode := routing.Balanced
+	if h.Routing != "" {
+		if mode, err = ParseRouting(h.Routing); err != nil {
+			return mcsim.Config{}, fmt.Errorf("sweep: trace header: %v", err)
+		}
+	}
+	par := units.Default()
+	if h.AlphaNet != 0 || h.AlphaSw != 0 || h.BetaNet != 0 {
+		par.AlphaNet, par.AlphaSw, par.BetaNet = h.AlphaNet, h.AlphaSw, h.BetaNet
+	}
+	if h.Flits > 0 && h.FlitBytes > 0 {
+		par = par.WithMessage(h.Flits, h.FlitBytes)
+	}
+	return mcsim.Config{
+		Org: org, Par: par, LambdaG: h.Lambda,
+		Warmup: h.Warmup, Measure: h.Measure, Drain: h.Drain,
+		Seed: h.Seed, RoutingMode: mode,
+		Replay: tr.Events,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"mcnet/internal/mcsim"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+	"mcnet/internal/workload"
+)
+
+// TestTraceHeaderReplayRoundTrip records one workload job's generation
+// stream through the trace serialization and replays it from the parsed
+// bytes: the replayed run must reproduce the original latency summary
+// exactly, proving the header carries the full run identity.
+func TestTraceHeaderReplayRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:     "trace-rt",
+		Orgs:     []string{"m=4:2x1,2x2@2"},
+		Arrivals: []string{"mmpp:8:16"},
+		Sizes:    []string{"bimodal:8:128:0.2"},
+		Routing:  []string{"random-up"},
+		Loads:    Loads{Lambdas: []float64{2e-4}},
+		Warmup:   50, Measure: 400, Drain: 50,
+		Model: "none",
+	}
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+	if j.Arrival != "mmpp:8:16" || j.SizeDist != "bimodal:8:128:0.2" {
+		t.Fatalf("job workload fields = %q/%q, want canonical axis values", j.Arrival, j.SizeDist)
+	}
+
+	// Assemble the job's config the way Execute does, plus a recorder.
+	org, err := system.ParseOrganization(j.Org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival, err := workload.ParseArrival(j.Arrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := workload.ParseSize(j.SizeDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, err := ParseRouting(j.Routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := workload.NewWriter(&buf, j.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mcsim.Config{
+		Org: org, Par: units.Default().WithMessage(j.Flits, j.FlitBytes),
+		LambdaG: j.Lambda, Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
+		Seed: j.SimSeed, RoutingMode: mode, Arrival: arrival, Sizes: sizes,
+		Record: func(e workload.Event) {
+			if err := w.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	orig, err := mcsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := workload.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header != j.TraceHeader() {
+		t.Fatalf("header round trip:\n got %+v\nwant %+v", tr.Header, j.TraceHeader())
+	}
+	repCfg, err := ReplayConfig(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mcsim.Run(repCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != orig.Latency || rep.SourceWait != orig.SourceWait || rep.Events != orig.Events {
+		t.Fatalf("replayed run diverged:\n original %+v (%d events)\n replayed %+v (%d events)",
+			orig.Latency, orig.Events, rep.Latency, rep.Events)
+	}
+}

@@ -1,0 +1,182 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/rng"
+	"mcnet/internal/system"
+)
+
+// chiSquare returns the chi-square statistic of observed counts against
+// per-cell expectations.
+func chiSquare(observed []int, expected []float64) float64 {
+	var x2 float64
+	for i, o := range observed {
+		d := float64(o) - expected[i]
+		x2 += d * d / expected[i]
+	}
+	return x2
+}
+
+// chiSquareBound is a loose upper quantile of the chi-square distribution
+// with dof degrees of freedom (mean dof, variance 2·dof; five standard
+// deviations is far beyond the 99.9th percentile for the dofs used here, so
+// flakes mean real distributional bugs, not unlucky seeds).
+func chiSquareBound(dof int) float64 {
+	return float64(dof) + 5*math.Sqrt(2*float64(dof))
+}
+
+// TestHotspotFractionAcrossShapes checks that Hotspot delivers its
+// configured Fraction: for any non-hot source the hot node must be drawn
+// with probability f + (1−f)/(N−1) (the uniform remainder can also land on
+// it), and the non-hot destinations must stay uniform (chi-square).
+func TestHotspotFractionAcrossShapes(t *testing.T) {
+	const samples = 200000
+	for _, tc := range []struct {
+		name     string
+		orgSpec  string
+		fraction float64
+		src      int
+	}{
+		{"small heterogeneous", "m=4:2x1,2x2@2", 0.30, 5},
+		{"org2 light hotspot", "org2", 0.05, 100},
+		{"org2 heavy hotspot", "org2", 0.50, 543},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := system.MustNew(mustParse(t, tc.orgSpec))
+			n := sys.TotalNodes()
+			h := Hotspot{N: n, Hot: 0, Fraction: tc.fraction}
+			r := rng.New(17)
+
+			counts := make([]int, n)
+			for i := 0; i < samples; i++ {
+				d := h.Dest(tc.src, r)
+				if d == tc.src {
+					t.Fatalf("Dest returned the source %d", tc.src)
+				}
+				if d < 0 || d >= n {
+					t.Fatalf("Dest returned out-of-range node %d", d)
+				}
+				counts[d]++
+			}
+
+			// Frequency of the hot node within binomial tolerance.
+			pHot := tc.fraction + (1-tc.fraction)/float64(n-1)
+			gotHot := float64(counts[h.Hot]) / samples
+			sigma := math.Sqrt(pHot * (1 - pHot) / samples)
+			if math.Abs(gotHot-pHot) > 5*sigma {
+				t.Errorf("hot-node frequency %.4f, want %.4f ± %.4f (5σ)", gotHot, pHot, 5*sigma)
+			}
+
+			// Chi-square uniformity over the non-hot, non-source cells.
+			var observed []int
+			var expected []float64
+			pOther := (1 - tc.fraction) / float64(n-1) * samples
+			for d := 0; d < n; d++ {
+				if d == h.Hot || d == tc.src {
+					continue
+				}
+				observed = append(observed, counts[d])
+				expected = append(expected, pOther)
+			}
+			if x2, bound := chiSquare(observed, expected), chiSquareBound(len(observed)-1); x2 > bound {
+				t.Errorf("non-hot destinations not uniform: chi-square %.1f > %.1f (dof %d)",
+					x2, bound, len(observed)-1)
+			}
+		})
+	}
+}
+
+// TestClusterLocalShare checks that ClusterLocal keeps the configured
+// intra-cluster share across cluster shapes — including heterogeneous
+// organizations where the source cluster is a small minority of the system —
+// and spreads the remainder uniformly over the other clusters' nodes.
+func TestClusterLocalShare(t *testing.T) {
+	const samples = 200000
+	for _, tc := range []struct {
+		name    string
+		orgSpec string
+		pLocal  float64
+		src     int
+	}{
+		{"small heterogeneous, small cluster", "m=4:2x1,2x2@2", 0.60, 1},
+		{"small heterogeneous, large cluster", "m=4:2x1,2x2@2", 0.60, 20},
+		{"org1 level-1 cluster", "org1", 0.75, 3},
+		{"org1 level-3 cluster", "org1", 0.25, 1100},
+		{"all local", "m=4:2x1,2x2", 1.0, 2},
+		{"never local", "m=4:2x1,2x2", 0.0, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := system.MustNew(mustParse(t, tc.orgSpec))
+			n := sys.TotalNodes()
+			c := ClusterLocal{Sys: sys, PLocal: tc.pLocal}
+			srcCl, _ := sys.ClusterOf(tc.src)
+			clusterNodes := sys.Clusters[srcCl].Nodes
+			r := rng.New(23)
+
+			counts := make([]int, n)
+			intra := 0
+			for i := 0; i < samples; i++ {
+				d := c.Dest(tc.src, r)
+				if d == tc.src {
+					t.Fatalf("Dest returned the source %d", tc.src)
+				}
+				if d < 0 || d >= n {
+					t.Fatalf("Dest returned out-of-range node %d", d)
+				}
+				if ci, _ := sys.ClusterOf(d); ci == srcCl {
+					intra++
+				}
+				counts[d]++
+			}
+
+			gotLocal := float64(intra) / samples
+			sigma := math.Sqrt(tc.pLocal * (1 - tc.pLocal) / samples)
+			if math.Abs(gotLocal-tc.pLocal) > 5*sigma+1e-9 {
+				t.Errorf("intra-cluster share %.4f, want %.4f ± %.4f (5σ)", gotLocal, tc.pLocal, 5*sigma)
+			}
+
+			// Within each side of the split the selection must be uniform:
+			// intra over the cluster's other nodes, inter over all outside
+			// nodes.
+			var obsIntra []int
+			var expIntra []float64
+			var obsInter []int
+			var expInter []float64
+			for d := 0; d < n; d++ {
+				if d == tc.src {
+					continue
+				}
+				if ci, _ := sys.ClusterOf(d); ci == srcCl {
+					obsIntra = append(obsIntra, counts[d])
+					expIntra = append(expIntra, float64(intra)/float64(clusterNodes-1))
+				} else {
+					obsInter = append(obsInter, counts[d])
+					expInter = append(expInter, float64(samples-intra)/float64(n-clusterNodes))
+				}
+			}
+			if intra > 0 && len(obsIntra) > 1 {
+				if x2, bound := chiSquare(obsIntra, expIntra), chiSquareBound(len(obsIntra)-1); x2 > bound {
+					t.Errorf("intra destinations not uniform: chi-square %.1f > %.1f (dof %d)",
+						x2, bound, len(obsIntra)-1)
+				}
+			}
+			if samples-intra > 0 {
+				if x2, bound := chiSquare(obsInter, expInter), chiSquareBound(len(obsInter)-1); x2 > bound {
+					t.Errorf("inter destinations not uniform: chi-square %.1f > %.1f (dof %d)",
+						x2, bound, len(obsInter)-1)
+				}
+			}
+		})
+	}
+}
+
+func mustParse(t *testing.T, spec string) system.Organization {
+	t.Helper()
+	org, err := system.ParseOrganization(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return org
+}

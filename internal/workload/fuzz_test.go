@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/rng"
+)
+
+// FuzzParseWorkload checks the parser invariants on arbitrary spec strings:
+// parsers never panic, accepted specs produce canonical names that re-parse
+// to themselves (the round trip the sweep cache keys rely on), and accepted
+// generators produce finite, in-range draws.
+func FuzzParseWorkload(f *testing.F) {
+	for _, seed := range []string{
+		"poisson", "deterministic", "mmpp:8:16", "mmpp:2.5:1",
+		"fixed", "bimodal:8:128:0.2", "geometric:32", "geometric:1",
+		"", "mmpp", "mmpp:1:1", "bimodal:0:0:2", ":::", "mmpp:NaN:1", "geometric:Inf",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		r := rng.New(1)
+		if a, err := ParseArrival(spec); err == nil {
+			name := a.Name()
+			a2, err := ParseArrival(name)
+			if err != nil {
+				t.Fatalf("canonical arrival %q (from %q) does not re-parse: %v", name, spec, err)
+			}
+			if a2.Name() != name {
+				t.Fatalf("arrival canonical form unstable: %q → %q", name, a2.Name())
+			}
+			p := a.NewProcess(1.0)
+			for i := 0; i < 8; i++ {
+				d := p.Next(r)
+				if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("arrival %q: bad inter-arrival %v", spec, d)
+				}
+			}
+		}
+		if sd, err := ParseSize(spec); err == nil {
+			name := sd.Name()
+			sd2, err := ParseSize(name)
+			if err != nil {
+				t.Fatalf("canonical size %q (from %q) does not re-parse: %v", name, spec, err)
+			}
+			if sd2.Name() != name {
+				t.Fatalf("size canonical form unstable: %q → %q", name, sd2.Name())
+			}
+			if m := sd.Mean(32); m < 1 || math.IsNaN(m) || math.IsInf(m, 0) {
+				t.Fatalf("size %q: bad mean %v", spec, m)
+			}
+			for i := 0; i < 8; i++ {
+				if n := sd.Flits(32, r); n < 1 {
+					t.Fatalf("size %q: non-positive draw %d", spec, n)
+				}
+			}
+		}
+	})
+}

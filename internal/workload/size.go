@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"mcnet/internal/rng"
+)
+
+// SizeDist draws per-message lengths in flits. The base argument is the
+// configuration's M (the message-geometry axis), so distributions can either
+// honor it (Fixed) or replace it with their own support (Bimodal, Geometric);
+// Mean reports the expected length for load accounting and for comparing
+// against the analytic model, which only knows fixed M.
+type SizeDist interface {
+	// Name is the canonical spec string ("fixed", "bimodal:8:128:0.2", …).
+	Name() string
+	// Flits draws one message length (always >= 1).
+	Flits(base int, r *rng.Source) int
+	// Mean is the expected message length given the configured base M.
+	Mean(base int) float64
+}
+
+// Fixed is the paper's assumption 3: every message is exactly M flits.
+type Fixed struct{}
+
+// Name implements SizeDist.
+func (Fixed) Name() string { return "fixed" }
+
+// Flits implements SizeDist. It consumes no randomness, so fixed-size runs
+// remain bit-identical with pre-workload simulator versions.
+func (Fixed) Flits(base int, _ *rng.Source) int { return base }
+
+// Mean implements SizeDist.
+func (Fixed) Mean(base int) float64 { return float64(base) }
+
+// Bimodal mixes short and long messages: with probability PLong a message
+// has Long flits, otherwise Short. The classic datacenter/HPC mix (mostly
+// short control messages, a tail of long data transfers) that multi-lane MIN
+// studies evaluate under.
+type Bimodal struct {
+	Short, Long int     // lengths in flits (0 < Short <= Long)
+	PLong       float64 // probability of a long message, in [0,1]
+}
+
+// Name implements SizeDist.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal:%d:%d:%s", b.Short, b.Long, formatG(b.PLong))
+}
+
+// Flits implements SizeDist.
+func (b Bimodal) Flits(_ int, r *rng.Source) int {
+	if r.Float64() < b.PLong {
+		return b.Long
+	}
+	return b.Short
+}
+
+// Mean implements SizeDist.
+func (b Bimodal) Mean(int) float64 {
+	return b.PLong*float64(b.Long) + (1-b.PLong)*float64(b.Short)
+}
+
+// Geometric draws lengths from the geometric distribution on {1, 2, …} with
+// the given mean: the discrete memoryless distribution, the standard
+// heavy-tailed-ish stand-in for variable message lengths.
+type Geometric struct {
+	// MeanFlits is the distribution mean (>= 1).
+	MeanFlits float64
+}
+
+// Name implements SizeDist.
+func (g Geometric) Name() string { return "geometric:" + formatG(g.MeanFlits) }
+
+// Flits implements SizeDist.
+func (g Geometric) Flits(_ int, r *rng.Source) int {
+	if g.MeanFlits <= 1 {
+		return 1
+	}
+	// Inversion: P(K > k) = q^k with q = 1 - 1/mean, so
+	// K = 1 + floor(ln(1-u)/ln(q)) is geometric on {1, 2, …}.
+	q := 1 - 1/g.MeanFlits
+	u := r.Float64()
+	k := 1 + int(math.Log(1-u)/math.Log(q))
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// Mean implements SizeDist.
+func (g Geometric) Mean(int) float64 {
+	if g.MeanFlits < 1 {
+		return 1
+	}
+	return g.MeanFlits
+}
+
+// ParseSize resolves a message-length distribution spec string. Recognized
+// forms:
+//
+//	fixed                          every message has the configured M flits
+//	bimodal:<short>:<long>:<plong> short/long mix; plong is the long fraction
+//	geometric:<mean>               geometric lengths on {1,2,…} with the mean
+func ParseSize(spec string) (SizeDist, error) {
+	name, args := parseFields(spec)
+	switch name {
+	case "fixed", "":
+		if len(args) > 0 {
+			return nil, fmt.Errorf("workload: size %q takes no arguments", spec)
+		}
+		return Fixed{}, nil
+	case "bimodal":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("workload: size %q needs bimodal:<short>:<long>:<plong>", spec)
+		}
+		short, err1 := parsePositiveInt(spec, args[0])
+		long, err2 := parsePositiveInt(spec, args[1])
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+		if short > long {
+			return nil, fmt.Errorf("workload: size %q: short %d exceeds long %d", spec, short, long)
+		}
+		pLong, err := parseFrac(spec, args[2], 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		return Bimodal{Short: short, Long: long, PLong: pLong}, nil
+	case "geometric":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("workload: size %q needs geometric:<mean>", spec)
+		}
+		mean, err := parseFrac(spec, args[0], 1, 1e9)
+		if err != nil {
+			return nil, err
+		}
+		return Geometric{MeanFlits: mean}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown size distribution %q (fixed, bimodal:<short>:<long>:<plong>, geometric:<mean>)", spec)
+}
+
+func parsePositiveInt(spec, arg string) (int, error) {
+	v, err := parseFrac(spec, arg, 1, 1e9)
+	if err != nil || v != math.Trunc(v) {
+		return 0, fmt.Errorf("workload: %q: argument %q must be a positive integer", spec, arg)
+	}
+	return int(v), nil
+}

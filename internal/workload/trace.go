@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Header is the first line of a trace file: the run identity the events were
+// recorded under. Replaying against the same organization and parameters
+// reproduces the original run bit-exactly; replaying against a different
+// topology, routing mode or technology point is the trace-driven
+// "what if" evaluation mode.
+type Header struct {
+	// Org is the organization in canonical ParseOrganization syntax.
+	Org string `json:"org"`
+	// Flits (M) and FlitBytes (L_m) are the base message geometry.
+	Flits     int `json:"flits"`
+	FlitBytes int `json:"flit_bytes"`
+	// AlphaNet, AlphaSw and BetaNet are the technology parameters the trace
+	// was recorded under (zero values mean the package defaults).
+	AlphaNet float64 `json:"alpha_net,omitempty"`
+	AlphaSw  float64 `json:"alpha_sw,omitempty"`
+	BetaNet  float64 `json:"beta_net,omitempty"`
+	// Lambda is the mean per-node generation rate the trace was recorded at.
+	Lambda float64 `json:"lambda"`
+	// Arrival, Size, Pattern and Routing are the canonical workload spec
+	// strings (empty = the defaults: poisson, fixed, uniform, balanced).
+	Arrival string `json:"arrival,omitempty"`
+	Size    string `json:"size,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	Routing string `json:"routing,omitempty"`
+	// Seed is the base RNG seed of the recorded run.
+	Seed uint64 `json:"seed"`
+	// Warmup, Measure and Drain are the recorded run's phase counts.
+	Warmup  int `json:"warmup"`
+	Measure int `json:"measure"`
+	Drain   int `json:"drain"`
+}
+
+// Event is one generated message: everything the simulator needs to re-launch
+// it exactly — birth time, endpoints, length and the routing selectors that
+// were drawn (or derived) for it. Times are float64 and survive the JSON
+// round trip bit-exactly (encoding/json uses shortest round-trip notation).
+type Event struct {
+	// T is the absolute simulated generation time.
+	T float64 `json:"t"`
+	// Src and Dst are global node ids.
+	Src int32 `json:"src"`
+	Dst int32 `json:"dst"`
+	// Flits is the message length M of this message.
+	Flits int32 `json:"flits"`
+	// Sel1, Sel2 and Sel3 are the routing selectors (ECN1 ascent, ICN2,
+	// ECN1 descent) the message was launched with.
+	Sel1 uint64 `json:"sel1"`
+	Sel2 uint64 `json:"sel2,omitempty"`
+	Sel3 uint64 `json:"sel3"`
+}
+
+// Trace is a fully loaded generation stream.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Writer streams a trace: one JSONL header line, then one line per event.
+type Writer struct {
+	bw     *bufio.Writer
+	events int
+	err    error
+}
+
+// NewWriter writes the header and returns a streaming event writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	tw := &Writer{bw: bufio.NewWriter(w)}
+	if err := tw.writeLine(h); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (w *Writer) writeLine(v any) error {
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		_, err = w.bw.Write(b)
+	}
+	if err == nil {
+		err = w.bw.WriteByte('\n')
+	}
+	w.err = err
+	return err
+}
+
+// Add appends one event. Errors are sticky: after a write failure every
+// subsequent Add and Flush reports it.
+func (w *Writer) Add(e Event) error {
+	if err := w.writeLine(e); err != nil {
+		return err
+	}
+	w.events++
+	return nil
+}
+
+// Events returns the number of events written so far.
+func (w *Writer) Events() int { return w.events }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Read loads a complete trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var t Trace
+	if err := json.Unmarshal(sc.Bytes(), &t.Header); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %v", err)
+	}
+	line := 1
+	var prev float64
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+		}
+		if e.T < prev {
+			return nil, fmt.Errorf("workload: trace line %d: time %v before predecessor %v", line, e.T, prev)
+		}
+		if e.Flits <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: non-positive flits %d", line, e.Flits)
+		}
+		prev = e.T
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile loads a trace from a file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	h := Header{
+		Org: "m=4:2x1,2x2", Flits: 32, FlitBytes: 256, Lambda: 1.25e-4,
+		Arrival: "mmpp:8:16", Size: "bimodal:8:128:0.2", Routing: "random-up",
+		Seed: 42, Warmup: 10, Measure: 100, Drain: 10,
+	}
+	// Deliberately awkward floats: bit-exact round-tripping is the contract.
+	events := []Event{
+		{T: 0.1 + 0.2, Src: 0, Dst: 5, Flits: 8, Sel1: math.MaxUint64, Sel3: 1},
+		{T: math.Nextafter(0.3, 1), Src: 5, Dst: 0, Flits: 128, Sel2: 7},
+		{T: 1e-308, Src: 1, Dst: 2, Flits: 32},
+	}
+	// Events must be time-ordered; fix up the tiny third time.
+	events[2].T = events[1].T + 1e-308
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != len(events) {
+		t.Fatalf("Events() = %d, want %d", w.Events(), len(events))
+	}
+
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header != h {
+		t.Fatalf("header round trip:\n got %+v\nwant %+v", tr.Header, h)
+	}
+	if len(tr.Events) != len(events) {
+		t.Fatalf("got %d events, want %d", len(tr.Events), len(events))
+	}
+	for i, e := range events {
+		if tr.Events[i] != e {
+			t.Errorf("event %d round trip:\n got %+v\nwant %+v", i, tr.Events[i], e)
+		}
+	}
+}
+
+func TestTraceReadRejectsMalformed(t *testing.T) {
+	head := `{"org":"m=4:2x1","flits":32,"flit_bytes":256,"lambda":1e-4,"seed":1,"warmup":0,"measure":1,"drain":0}`
+	for name, body := range map[string]string{
+		"empty":            "",
+		"bad header":       "{nope\n",
+		"bad event":        head + "\n{bad\n",
+		"time regression":  head + "\n" + `{"t":2,"src":0,"dst":1,"flits":1,"sel1":0,"sel3":0}` + "\n" + `{"t":1,"src":0,"dst":1,"flits":1,"sel1":0,"sel3":0}` + "\n",
+		"nonpositive size": head + "\n" + `{"t":1,"src":0,"dst":1,"flits":0,"sel1":0,"sel3":0}` + "\n",
+	} {
+		if _, err := Read(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: Read unexpectedly succeeded", name)
+		}
+	}
+}

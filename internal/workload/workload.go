@@ -1,0 +1,62 @@
+// Package workload composes the generation side of a simulation run: an
+// arrival process (when messages are born), a message-length distribution
+// (how many flits each carries) and — composed by the simulator — a
+// traffic.Pattern (where they go). Together these describe a per-node
+// workload.
+//
+// The paper validates its latency model only under assumption 1–3 workloads:
+// independent Poisson sources with fixed-length messages and uniform
+// destinations, and names non-uniform and non-stationary traffic as future
+// work. This package supplies the missing axes on the simulation side:
+//
+//   - Arrival processes: Poisson (the paper's assumption 1), deterministic
+//     (periodic injection, the most regular process with the same mean), and
+//     a two-state on-off MMPP (a Markov-modulated Poisson process, the
+//     standard model of bursty traffic: exponentially distributed on-periods
+//     inject at a peak rate, off-periods are silent, and the mean rate is
+//     preserved so curves remain comparable across burstiness levels).
+//
+//   - Message-length distributions: fixed M flits (the paper's assumption 3),
+//     a bimodal short/long mix (the classic ~80% short control / ~20% long
+//     data split measured in real systems), and a geometric distribution
+//     (the discrete memoryless heavy-tail stand-in).
+//
+// Both axes parse from compact spec strings ("mmpp:8:16",
+// "bimodal:8:128:0.2") so they can ride in sweep specs, CLI flags and cache
+// keys; ParseArrival and ParseSize document the forms.
+//
+// The package also defines the trace format (Trace, Event, Writer): a
+// recorded generation stream — every message's birth time, endpoints, length
+// and routing selectors — serialized as JSONL. A recorded trace replays
+// bit-exactly: floats are encoded in shortest round-trip notation, so a
+// replayed run reproduces the original per-message latencies to the last
+// bit. Recording is the bridge to trace-driven evaluation: synthesize a
+// workload once (or convert an external application trace) and re-run it
+// against any topology, routing mode or technology point.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseFields splits a spec string of colon-separated fields after the name.
+func parseFields(spec string) (name string, args []string) {
+	parts := strings.Split(spec, ":")
+	return parts[0], parts[1:]
+}
+
+// parseFrac parses a float argument constrained to [lo, hi]. The inclusive
+// form of the check also rejects NaN (both comparisons are false for it),
+// which ParseFloat happily produces from "NaN".
+func parseFrac(spec, arg string, lo, hi float64) (float64, error) {
+	f, err := strconv.ParseFloat(arg, 64)
+	if err != nil || !(f >= lo && f <= hi) {
+		return 0, fmt.Errorf("workload: %q: argument %q must be a number in [%g,%g]", spec, arg, lo, hi)
+	}
+	return f, nil
+}
+
+// formatG renders a float argument the way canonical spec names do.
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

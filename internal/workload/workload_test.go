@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/rng"
+)
+
+// sampleMeanRate draws n arrivals and returns the empirical mean rate.
+func sampleMeanRate(p Process, r *rng.Source, n int) float64 {
+	var t float64
+	for i := 0; i < n; i++ {
+		t += p.Next(r)
+	}
+	return float64(n) / t
+}
+
+// interarrivalSCV returns the squared coefficient of variation of n
+// inter-arrival samples (1 for Poisson, 0 for deterministic, >1 for bursty).
+func interarrivalSCV(p Process, r *rng.Source, n int) float64 {
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := p.Next(r)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	return variance / (mean * mean)
+}
+
+func TestArrivalMeanRatePreserved(t *testing.T) {
+	const rate = 2.5
+	const n = 200000
+	for _, tc := range []struct {
+		spec string
+		tol  float64
+	}{
+		{"poisson", 0.02},
+		// The deterministic process's only randomness is the initial phase:
+		// the empirical rate deviates by at most one period over n draws.
+		{"deterministic", 1e-4},
+		{"mmpp:4:8", 0.05},
+		{"mmpp:16:2", 0.08},
+	} {
+		t.Run(tc.spec, func(t *testing.T) {
+			a, err := ParseArrival(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sampleMeanRate(a.NewProcess(rate), rng.New(7), n)
+			if rel := math.Abs(got-rate) / rate; rel > tc.tol {
+				t.Fatalf("%s: empirical rate %.4f vs configured %.4f (rel err %.3f > %.3f)",
+					tc.spec, got, rate, rel, tc.tol)
+			}
+		})
+	}
+}
+
+func TestArrivalBurstinessOrdering(t *testing.T) {
+	const rate = 1.0
+	const n = 200000
+	r := rng.New(11)
+	det := interarrivalSCV(Deterministic{}.NewProcess(rate), r, n)
+	poi := interarrivalSCV(Poisson{}.NewProcess(rate), r, n)
+	bur := interarrivalSCV(MMPP{Peak: 8, Burst: 16}.NewProcess(rate), r, n)
+	if det > 0.001 {
+		// Only the random initial phase contributes variance.
+		t.Errorf("deterministic SCV = %v, want ~0", det)
+	}
+	if poi < 0.9 || poi > 1.1 {
+		t.Errorf("poisson SCV = %v, want ~1", poi)
+	}
+	if bur < 2 {
+		t.Errorf("mmpp:8:16 SCV = %v, want substantially > 1 (bursty)", bur)
+	}
+	if !(det < poi && poi < bur) {
+		t.Errorf("burstiness not ordered: det %v < poisson %v < mmpp %v expected", det, poi, bur)
+	}
+}
+
+// TestMMPPStationaryStart checks the lazy stationary initialization: the
+// mean wait to a stream's FIRST arrival must match the time-stationary
+// first-step analysis (p·E_on + (1−p)·E_off), not the all-nodes-start-
+// bursting value E_on, across many independent streams. For a bursty
+// process the stationary wait is dominated by streams that start in a long
+// off-period (the inspection paradox), so the two differ by an order of
+// magnitude and a synchronized start would fail this loudly.
+func TestMMPPStationaryStart(t *testing.T) {
+	const rate = 1.0
+	const streams = 40000
+	a := MMPP{Peak: 8, Burst: 16}
+
+	// First-step analysis of the on-off chain. While on, arrival (λ_on) and
+	// state exit (r_on) race; while off the stream just waits out the
+	// sojourn: E_on = (1 + r_on/r_off)/λ_on, E_off = 1/r_off + E_on.
+	lambdaOn := rate * a.Peak
+	rOn := lambdaOn / a.Burst
+	p := 1 / a.Peak
+	rOff := rOn * p / (1 - p)
+	eOn := (1 + rOn/rOff) / lambdaOn
+	eOff := 1/rOff + eOn
+	want := p*eOn + (1-p)*eOff
+
+	var sum float64
+	for i := 0; i < streams; i++ {
+		r := rng.NewStream(3, uint64(i))
+		sum += a.NewProcess(rate).Next(r)
+	}
+	mean := sum / streams
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("first-arrival mean %.4f, want ~%.4f (stationary start); synchronized start would give ~%.4f", mean, want, eOn)
+	}
+}
+
+func TestSizeDistributions(t *testing.T) {
+	const base = 32
+	const n = 200000
+	for _, tc := range []struct {
+		spec     string
+		wantMean float64
+		tol      float64
+		min, max int
+	}{
+		{"fixed", 32, 0, 32, 32},
+		{"bimodal:8:128:0.2", 0.2*128 + 0.8*8, 0.03, 8, 128},
+		{"geometric:32", 32, 0.03, 1, 1 << 30},
+		{"geometric:1", 1, 0, 1, 1},
+	} {
+		t.Run(tc.spec, func(t *testing.T) {
+			d, err := ParseSize(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Mean(base); math.Abs(got-tc.wantMean) > 1e-9 {
+				t.Fatalf("Mean(%d) = %v, want %v", base, got, tc.wantMean)
+			}
+			r := rng.New(13)
+			var sum float64
+			for i := 0; i < n; i++ {
+				f := d.Flits(base, r)
+				if f < tc.min || f > tc.max {
+					t.Fatalf("draw %d outside [%d, %d]", f, tc.min, tc.max)
+				}
+				sum += float64(f)
+			}
+			mean := sum / n
+			if tc.tol == 0 {
+				if mean != tc.wantMean {
+					t.Fatalf("empirical mean %v, want exactly %v", mean, tc.wantMean)
+				}
+			} else if math.Abs(mean-tc.wantMean)/tc.wantMean > tc.tol {
+				t.Fatalf("empirical mean %.3f, want %.3f ± %.0f%%", mean, tc.wantMean, 100*tc.tol)
+			}
+		})
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	for _, spec := range []string{"poisson", "deterministic", "mmpp:4:16", "mmpp:2.5:8"} {
+		a, err := ParseArrival(spec)
+		if err != nil {
+			t.Fatalf("ParseArrival(%q): %v", spec, err)
+		}
+		if a.Name() != spec {
+			t.Errorf("ParseArrival(%q).Name() = %q, want round trip", spec, a.Name())
+		}
+		if _, err := ParseArrival(a.Name()); err != nil {
+			t.Errorf("canonical name %q does not re-parse: %v", a.Name(), err)
+		}
+	}
+	for _, spec := range []string{"fixed", "bimodal:8:128:0.2", "geometric:24"} {
+		d, err := ParseSize(spec)
+		if err != nil {
+			t.Fatalf("ParseSize(%q): %v", spec, err)
+		}
+		if d.Name() != spec {
+			t.Errorf("ParseSize(%q).Name() = %q, want round trip", spec, d.Name())
+		}
+	}
+	// The empty string selects the defaults.
+	if a, err := ParseArrival(""); err != nil || a.Name() != "poisson" {
+		t.Errorf(`ParseArrival("") = %v, %v; want poisson`, a, err)
+	}
+	if d, err := ParseSize(""); err != nil || d.Name() != "fixed" {
+		t.Errorf(`ParseSize("") = %v, %v; want fixed`, d, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"mmpp", "mmpp:1:8", "mmpp:0.5:8", "mmpp:4", "mmpp:4:0", "mmpp:4:0.5", "mmpp:4:-1", "mmpp:x:8",
+		"mmpp:NaN:8", "mmpp:4:NaN", "mmpp:Inf:8", "poisson:1", "deterministic:2", "burst", "onoff:2:2",
+	} {
+		if _, err := ParseArrival(spec); err == nil {
+			t.Errorf("ParseArrival(%q) unexpectedly succeeded", spec)
+		}
+	}
+	for _, spec := range []string{
+		"bimodal", "bimodal:8:128", "bimodal:0:128:0.2", "bimodal:128:8:0.2",
+		"bimodal:8:128:1.5", "bimodal:8.5:128:0.2", "bimodal:8:128:NaN",
+		"geometric", "geometric:0.5", "geometric:x", "geometric:NaN", "geometric:Inf",
+		"fixed:32", "pareto:2",
+	} {
+		if _, err := ParseSize(spec); err == nil {
+			t.Errorf("ParseSize(%q) unexpectedly succeeded", spec)
+		}
+	}
+}

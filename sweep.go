@@ -7,9 +7,10 @@ import (
 
 // Re-exported parameter-sweep types. A Sweep describes a grid of
 // (organization × message geometry × traffic pattern × routing policy ×
-// offered load × seed) simulations; a SweepEngine executes it concurrently
-// with deterministic seeding, content-hash caching and ordered streaming
-// output. See cmd/mcsweep for the file-driven front end.
+// arrival process × message-length distribution × offered load × seed)
+// simulations; a SweepEngine executes it concurrently with deterministic
+// seeding, content-hash caching and ordered streaming output. See
+// cmd/mcsweep for the file-driven front end.
 type (
 	// Sweep is a declarative parameter-sweep specification.
 	Sweep = sweep.Spec
@@ -48,4 +49,7 @@ var (
 	// FormatOrganization renders an organization in the canonical
 	// ParseOrganization syntax (the form sweep specs use).
 	FormatOrganization = system.Format
+	// ReplayConfig reconstructs a simulator configuration from a recorded
+	// workload trace (see internal/workload) for bit-exact replay.
+	ReplayConfig = sweep.ReplayConfig
 )
