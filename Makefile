@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePattern$$' -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run '^$$' -fuzz '^FuzzParseWorkload$$' -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run '^$$' -fuzz '^FuzzParseOrganizationRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/system
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLinkClass$$' -fuzztime $(FUZZTIME) ./internal/units
 
 # bench runs the cross-layer hot-path benchmarks (internal/bench) and writes
 # the raw `go test -json` stream to $(BENCH_OUT). The summary printer is

@@ -10,9 +10,12 @@
 //	benchdiff -threshold 1.5 old.json new.json
 //	benchdiff -list file.json                # pretty-print one artifact
 //
-// Benchmarks present in only one artifact are reported but never fail the
-// gate (new benchmarks must be able to land together with their baseline
-// refresh).
+// Benchmarks present in only one artifact are reported (per row and in a
+// summary count) but never fail the gate — new benchmarks must be able to
+// land together with their baseline refresh, and removals land with one
+// too. Benchmarks whose ns/op is unmeasurable on either side (zero,
+// negative, NaN) fail the gate: the comparison is meaningless and must not
+// silently pass.
 package main
 
 import (
@@ -91,19 +94,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // diff reports every benchmark comparison and returns an error naming the
-// regressions, if any.
+// regressions, if any. Benchmarks present on only one side are reported per
+// row and counted in the summary line but never fail the gate (new
+// benchmarks must be able to land together with their baseline refresh, and
+// a removal lands with one too). A benchmark whose ns/op is unmeasurable on
+// either side (zero, negative or NaN — a corrupt artifact) fails the gate:
+// its ratio would be Inf or NaN, and NaN compares false against any
+// threshold, which would silently pass a broken measurement.
 func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
 	oldBy := make(map[string]Bench, len(old))
 	for _, b := range old {
 		oldBy[b.Name] = b
 	}
 	seen := make(map[string]bool, len(new_))
-	var regressions []string
+	var regressions, unmeasurable []string
+	added, removed := 0, 0
 	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, nb := range new_ {
 		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
+		if !(nb.NsOp > 0) || (ok && !(ob.NsOp > 0)) {
+			oldCol := "-"
+			detail := fmt.Sprintf("%s: new with %v ns/op", nb.Name, nb.NsOp)
+			if ok {
+				oldCol = fmt.Sprintf("%.1f", ob.NsOp)
+				detail = fmt.Sprintf("%s: %v → %v ns/op", nb.Name, ob.NsOp, nb.NsOp)
+			}
+			fmt.Fprintf(w, "%-28s %14s %14.1f %8s  UNMEASURABLE\n", nb.Name, oldCol, nb.NsOp, "-")
+			unmeasurable = append(unmeasurable, detail)
+			continue
+		}
 		if !ok {
+			added++
 			fmt.Fprintf(w, "%-28s %14s %14.1f %8s  (new, no baseline)\n", nb.Name, "-", nb.NsOp, "-")
 			continue
 		}
@@ -118,8 +140,17 @@ func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
 	}
 	for _, ob := range old {
 		if !seen[ob.Name] {
+			removed++
 			fmt.Fprintf(w, "%-28s %14.1f %14s %8s  (removed)\n", ob.Name, ob.NsOp, "-", "-")
 		}
+	}
+	if added > 0 || removed > 0 {
+		fmt.Fprintf(w, "%d new benchmark(s) without baseline, %d removed from the new run (neither fails the gate)\n",
+			added, removed)
+	}
+	if len(unmeasurable) > 0 {
+		return fmt.Errorf("%d benchmark(s) with unmeasurable ns/op (corrupt artifact?):\n  %s",
+			len(unmeasurable), strings.Join(unmeasurable, "\n  "))
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.2f×:\n  %s",

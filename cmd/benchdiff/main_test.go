@@ -95,6 +95,66 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	}
 }
 
+// TestRemovedBenchmarkReportedNotFailed: a benchmark present in the
+// baseline but absent from the new run must be reported (per row and in the
+// summary count) without failing the gate — a removal lands together with
+// its baseline refresh, like an addition does.
+func TestRemovedBenchmarkReportedNotFailed(t *testing.T) {
+	dir := t.TempDir()
+	old := writeStream(t, dir, "old.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkGone": 500,
+	})
+	new_ := writeStream(t, dir, "new.json", map[string]float64{"BenchmarkFoo": 100})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{old, new_}, &stdout, &stderr); err != nil {
+		t.Fatalf("removed benchmark failed the gate: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "BenchmarkGone") || !strings.Contains(out, "(removed)") {
+		t.Fatalf("report does not flag the removed benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "1 removed from the new run") {
+		t.Fatalf("summary does not count the removed benchmark:\n%s", out)
+	}
+}
+
+// TestUnmeasurableBaselineFailsGate: a zero ns/op entry makes the ratio Inf
+// or NaN; NaN compares false against any threshold, so before the guard a
+// broken artifact sailed through the gate. It must fail loudly instead.
+func TestUnmeasurableBaselineFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeStream(t, dir, "old.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkZero": 0,
+	})
+	new_ := writeStream(t, dir, "new.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkZero": 0, // NaN ratio without the guard
+	})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{old, new_}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("zero-ns/op benchmark passed the gate:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkZero") || !strings.Contains(err.Error(), "unmeasurable") {
+		t.Fatalf("error %q does not name the unmeasurable benchmark", err)
+	}
+	if !strings.Contains(stdout.String(), "UNMEASURABLE") {
+		t.Fatalf("report does not mark the unmeasurable row:\n%s", stdout.String())
+	}
+
+	// A *new* benchmark (no baseline) with unmeasurable ns/op must also
+	// fail, not slide through the (new, no baseline) report — it would
+	// otherwise land in the next committed baseline and break the gate for
+	// an innocent PR.
+	newBad := writeStream(t, dir, "newbad.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkFreshZero": 0,
+	})
+	stdout.Reset()
+	if err := run([]string{old, newBad}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkFreshZero") {
+		t.Fatalf("unmeasurable baseline-less benchmark did not fail the gate: %v\n%s", err, stdout.String())
+	}
+}
+
 // TestCommittedBaselinePassesGate compares the repo's committed BENCH
 // artifact against itself: the gate must pass on the baseline it ships with.
 func TestCommittedBaselinePassesGate(t *testing.T) {

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|workload|all")
+		exp     = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|workload|link-hetero|all")
 		scale   = flag.String("scale", "paper", "simulation scale: paper|quick")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
 		points  = flag.Int("points", 10, "operating points per curve")
@@ -74,7 +74,7 @@ func main() {
 	switch *exp {
 	case "all":
 		for _, e := range []string{"table1", "saturation", "fig3m32", "fig3m64", "fig4m32", "fig4m64",
-			"ablation-icn2", "ablation-routing", "baseline", "traffic-patterns", "rate-hetero", "workload"} {
+			"ablation-icn2", "ablation-routing", "baseline", "traffic-patterns", "rate-hetero", "workload", "link-hetero"} {
 			run[e] = true
 		}
 	case "figs":
@@ -171,6 +171,10 @@ func main() {
 	study("workload", "Extension 3: bursty arrivals × message-size mixes (Org2, M=32, Lm=256)",
 		func() ([]plot.Series, error) {
 			return runner.WorkloadStudy(system.Table1Org2(), units.Default(), *points)
+		})
+	study("link-hetero", "Extension 4: per-tier link technology (Org2, M=32, Lm=256)",
+		func() ([]plot.Series, error) {
+			return runner.LinkHeterogeneityStudy(system.Table1Org2(), units.Default(), *points)
 		})
 
 	if did == 0 {

@@ -7,6 +7,8 @@
 //	mcsim -org org1 -lambda 2e-4
 //	mcsim -org org2 -m 64 -lm 512 -lambda 1e-4 -reps 5
 //	mcsim -org org2 -lambda 3e-4 -pattern local:0.6
+//	mcsim -org org2 -lambda 3e-4 -links icn2=0.04/0.02/0.004   # slow backbone
+//	mcsim -org "m=4:8x3@ecn1=0.04/0.02/0.004,3x4,5x5" -lambda 3e-4
 //	mcsim -org org2 -lambda 3e-4 -arrival mmpp:16:32 -sizes bimodal:8:128:0.2
 //	mcsim -org org2 -lambda 3e-4 -record run.jsonl   # record the workload
 //	mcsim -replay run.jsonl                          # bit-exact re-run
@@ -46,6 +48,7 @@ func main() {
 		mode    = flag.String("routing", "balanced", "ascent discipline: balanced|random")
 		arrival = flag.String("arrival", "poisson", "arrival process: poisson|deterministic|mmpp:<peak>:<burst>")
 		sizes   = flag.String("sizes", "fixed", "message lengths: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>")
+		links   = flag.String("links", "uniform", "per-tier link technology: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc")
 		record  = flag.String("record", "", "record the generation stream to this trace file (JSONL)")
 		replay  = flag.String("replay", "", "replay a recorded trace instead of generating (ignores workload flags)")
 		verbose = flag.Bool("v", false, "print per-cluster statistics")
@@ -77,6 +80,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		par := units.Default().WithMessage(*mFlits, *lm)
+		if par.Tiers, err = units.ParseTiers(*links); err != nil {
+			fatalf("%v", err)
+		}
 		cfg = mcsim.Config{
 			Org: org, Par: par, LambdaG: *lambda,
 			Warmup: *warmup, Measure: *measure, Drain: *drain,
@@ -120,6 +126,7 @@ func main() {
 			hdr := workload.Header{
 				Org: system.Format(org), Flits: cfg.Par.MessageFlits, FlitBytes: cfg.Par.FlitBytes,
 				AlphaNet: cfg.Par.AlphaNet, AlphaSw: cfg.Par.AlphaSw, BetaNet: cfg.Par.BetaNet,
+				Links:  cfg.Par.Tiers.String(),
 				Lambda: cfg.LambdaG, Seed: cfg.Seed,
 				Warmup: cfg.Warmup, Measure: cfg.Measure, Drain: cfg.Drain,
 			}

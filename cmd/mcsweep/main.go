@@ -13,6 +13,8 @@
 //	mcsweep -spec demo -print-spec           # emit a spec JSON to start from
 //	mcsweep -spec bursty -out results/       # burstiness × size-mix grid
 //	mcsweep -spec demo -arrivals mmpp:16:32 -sizes bimodal:8:128:0.2 -out results/
+//	mcsweep -spec hetero-links -out results/ # per-tier link technology grid
+//	mcsweep -spec demo -links uniform,icn2=0.04/0.02/0.004 -out results/
 //
 // A spec names its axes (organizations, message geometry, traffic patterns,
 // routing policies, arrival processes, message-length distributions, load
@@ -68,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reps      = fs.Int("reps", 0, "override spec replications per point")
 		arrivals  = fs.String("arrivals", "", "override spec arrival axis (comma-separated: poisson|deterministic|mmpp:<peak>:<burst>)")
 		sizes     = fs.String("sizes", "", "override spec size axis (comma-separated: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>)")
+		links     = fs.String("links", "", "override spec link-technology axis (comma-separated: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -105,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *sizes != "" {
 		spec.Sizes = strings.Split(*sizes, ",")
+	}
+	if *links != "" {
+		spec.Links = strings.Split(*links, ",")
 	}
 	spec = spec.Normalized()
 
@@ -155,9 +161,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer jsonlFile.Close()
 	csvSink := sweep.NewCSVSink(csvFile)
-	// The workload columns appear only when the spec actually sweeps the
-	// workload axes, so pre-workload specs keep their CSV schema.
+	// The workload and links columns appear only when the spec actually
+	// sweeps those axes, so older specs keep their CSV schema.
 	csvSink.Workload = spec.HasWorkloadAxes()
+	csvSink.Links = spec.HasLinkAxis()
 	jsonlSink := sweep.NewJSONLSink(jsonlFile)
 
 	start := time.Now()

@@ -110,6 +110,21 @@ func TestRunFlagHandling(t *testing.T) {
 			args:    []string{"-spec", "bursty", "-dry-run"},
 			wantOut: "mmpp:64:64",
 		},
+		{
+			name:    "links axis override",
+			args:    []string{"-spec", specPath, "-print-spec", "-links", "uniform,icn2=0.04/0.02/0.004"},
+			wantOut: `"icn2=0.04/0.02/0.004"`,
+		},
+		{
+			name:    "bad links override",
+			args:    []string{"-spec", specPath, "-dry-run", "-links", "icn3=1/1/1"},
+			wantErr: "unknown tier",
+		},
+		{
+			name:    "dry run shows links axis",
+			args:    []string{"-spec", "hetero-links", "-dry-run"},
+			wantOut: "icn1=0.01/0.005/0.001",
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -128,6 +143,81 @@ func TestRunFlagHandling(t *testing.T) {
 				t.Fatalf("run(%v) stdout = %q, want substring %q", tc.args, stdout.String(), tc.wantOut)
 			}
 		})
+	}
+}
+
+// TestResumeMidFileWithWorkloadColumns reproduces an interrupted workload
+// sweep: the cache holds outcomes for only the first half of the grid (the
+// sweep died mid-file), and a -resume run must complete the rest and emit a
+// CSV byte-identical to an uninterrupted fresh run — with the opt-in
+// workload columns enabled, since the spec sweeps the arrival axis.
+func TestResumeMidFileWithWorkloadColumns(t *testing.T) {
+	dir := t.TempDir()
+	spec := sweep.Spec{
+		Name:     "wresume",
+		Orgs:     []string{"m=4:2x1"},
+		Arrivals: []string{"poisson", "mmpp:4:8"},
+		Loads:    sweep.Loads{Lambdas: []float64{1e-4, 2e-4}},
+		Warmup:   10, Measure: 60, Drain: 10,
+		Model: "none",
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "wresume.json")
+	if err := os.WriteFile(specPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: one uninterrupted run.
+	freshOut := filepath.Join(dir, "fresh")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-out", freshOut}, &stdout, &stderr); err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	freshCSV, err := os.ReadFile(filepath.Join(freshOut, "wresume.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(freshCSV), "\n", 2)[0]
+	if !strings.HasSuffix(head, "arrival,size_dist") {
+		t.Fatalf("workload sweep CSV header %q lacks the workload columns", head)
+	}
+
+	// The interrupted run: seed the resume directory's cache with outcomes
+	// for only the first half of the expanded grid.
+	jobs, err := sweep.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("grid = %d jobs, want 4", len(jobs))
+	}
+	resumeOut := filepath.Join(dir, "resumed")
+	cache, err := sweep.NewDirCache(filepath.Join(resumeOut, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := &sweep.Engine{Cache: cache}
+	if _, err := half.RunJobs(spec, jobs[:len(jobs)/2]); err != nil {
+		t.Fatalf("seeding half the cache: %v", err)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-spec", specPath, "-out", resumeOut, "-resume"}, &stdout, &stderr); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "2 executed, 2 cache hits") {
+		t.Fatalf("resume summary = %q, want 2 executed / 2 cache hits", stdout.String())
+	}
+	resumedCSV, err := os.ReadFile(filepath.Join(resumeOut, "wresume.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(freshCSV, resumedCSV) {
+		t.Fatalf("mid-file resume CSV differs from the fresh run:\n--- fresh ---\n%s--- resumed ---\n%s",
+			freshCSV, resumedCSV)
 	}
 }
 

@@ -135,6 +135,20 @@ type Model struct {
 	probH []float64   // ICN2 NCA-level distribution
 	dICN2 float64     // Σ 2h·P(h)
 	hOf   [][]int     // exact ICN2 NCA level per cluster pair
+
+	// Tier-resolved connection service times (Eqs. 14–15 evaluated per
+	// network): per source cluster for ICN1/ECN1, global for the ICN2 switch
+	// links and the concentrator/dispatcher links. With no link-class
+	// overrides every entry equals the base vector's value and the model is
+	// bit-identical to the single-technology form.
+	tcnI1, tcsI1, mtcnI1, mtcsI1 []float64
+	tcnE1, tcsE1, mtcnE1, mtcsE1 []float64
+	tcsI2, mtcsI2                float64
+	tcsConc, mtcsConc            float64
+	// hetero records whether any tier deviates from the base vector; the
+	// homogeneous path keeps the paper's original expressions (and their
+	// exact floating-point evaluation order).
+	hetero bool
 }
 
 // New precomputes the topology-dependent quantities of the model.
@@ -149,12 +163,42 @@ func New(sys *system.System, par units.Params, opt Options) (*Model, error) {
 	m.probJ = make([][]float64, sys.C())
 	m.dAvg = make([]float64, sys.C())
 	m.pOut = make([]float64, sys.C())
+	m.tcnI1 = make([]float64, sys.C())
+	m.tcsI1 = make([]float64, sys.C())
+	m.mtcnI1 = make([]float64, sys.C())
+	m.mtcsI1 = make([]float64, sys.C())
+	m.tcnE1 = make([]float64, sys.C())
+	m.tcsE1 = make([]float64, sys.C())
+	m.mtcnE1 = make([]float64, sys.C())
+	m.mtcsE1 = make([]float64, sys.C())
+	flits := float64(par.MessageFlits)
 	for i := range sys.Clusters {
 		shape := sys.Clusters[i].Shape
 		m.probJ[i] = shape.ProbJ()
 		m.dAvg[i] = shape.AvgDistance()
 		m.pOut[i] = sys.POut(i)
+		icn1 := par.ICN1Class()
+		if c := sys.Clusters[i].ICN1; c != nil {
+			icn1 = *c
+		}
+		ecn1 := par.ECN1Class()
+		if c := sys.Clusters[i].ECN1; c != nil {
+			ecn1 = *c
+		}
+		m.tcnI1[i] = icn1.Tcn(par.FlitBytes)
+		m.tcsI1[i] = icn1.Tcs(par.FlitBytes)
+		m.mtcnI1[i] = flits * m.tcnI1[i]
+		m.mtcsI1[i] = flits * m.tcsI1[i]
+		m.tcnE1[i] = ecn1.Tcn(par.FlitBytes)
+		m.tcsE1[i] = ecn1.Tcs(par.FlitBytes)
+		m.mtcnE1[i] = flits * m.tcnE1[i]
+		m.mtcsE1[i] = flits * m.tcsE1[i]
 	}
+	m.tcsI2 = par.ICN2Class().Tcs(par.FlitBytes)
+	m.mtcsI2 = flits * m.tcsI2
+	m.tcsConc = par.ConcClass().Tcs(par.FlitBytes)
+	m.mtcsConc = flits * m.tcsConc
+	m.hetero = !par.Tiers.Homogeneous() || sys.LinkHeterogeneous()
 	m.probH = sys.ICN2ProbH()
 	for h, p := range m.probH {
 		m.dICN2 += 2 * float64(h) * p
@@ -204,16 +248,20 @@ type Result struct {
 var ErrSaturated = errors.New("analytic: operating point is saturated")
 
 // chainService runs the backward stage recursion (Eqs. 16–18) for a K-stage
-// journey and returns S_{0}. eta(k) supplies the channel rate at stage k.
-// ok is false when any stage's utilization reaches 1.
-func chainService(k int, eta func(int) float64, mtcs, mtcn float64) (s0 float64, ok bool) {
+// journey and returns S_{0}. eta(k) supplies the channel rate at stage k and
+// mtcs(k) the stage's message transfer time M·t_cs — a constant for journeys
+// within one network, tier-indexed for merged inter-cluster journeys whose
+// stages cross networks of different link technology. mtcn is the transfer
+// time of the final (switch→node) stage. ok is false when any stage's
+// utilization reaches 1.
+func chainService(k int, eta func(int) float64, mtcs func(int) float64, mtcn float64) (s0 float64, ok bool) {
 	sumW := 0.0
 	s := 0.0
 	for stage := k - 1; stage >= 0; stage-- {
 		if stage == k-1 {
 			s = mtcn
 		} else {
-			s = mtcs + sumW
+			s = mtcs(stage) + sumW
 		}
 		if stage > 0 {
 			e := eta(stage)
@@ -235,8 +283,6 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 	}
 	sys := m.Sys
 	res := Result{LambdaG: lambdaG, PerCluster: make([]ClusterResult, sys.C())}
-	mtcn, mtcs := m.Par.MTcn(), m.Par.MTcs()
-	tcn, tcs := m.Par.Tcn(), m.Par.Tcs()
 	f := m.Opt.ChannelFactor
 	n := float64(sys.TotalNodes())
 	c := sys.C()
@@ -278,7 +324,10 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 		ni := cl.Levels
 		nNodes := float64(cl.Nodes)
 
-		// ── Intra-cluster (ICN1) ──
+		// ── Intra-cluster (ICN1) ── the whole journey stays inside cluster
+		// i's ICN1, so every stage uses that network's link class.
+		mtcnI1, mtcsI1 := m.mtcnI1[i], m.mtcsI1[i]
+		tcnI1, tcsI1 := m.tcnI1[i], m.tcsI1[i]
 		lamI1 := nNodes * (1 - m.pOut[i]) * lam[i] // Eq. 5
 		etaI1 := m.dAvg[i] * lamI1 / (f * float64(ni) * nNodes)
 		okAll := true
@@ -287,19 +336,20 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 			if pj == 0 {
 				continue
 			}
-			s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 }, mtcs, mtcn)
+			s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 },
+				func(int) float64 { return mtcsI1 }, mtcnI1)
 			if !ok {
 				okAll = false
 				break
 			}
 			cr.SIntra += pj * s0
-			cr.RIntra += pj * (float64(2*j-2)*tcs + tcn)
+			cr.RIntra += pj * (float64(2*j-2)*tcsI1 + tcnI1)
 		}
 		if !okAll {
 			saturate(cr, fmt.Sprintf("channel-chain(ICN1,i=%d)", i))
 			continue
 		}
-		sigma2 := sq(cr.SIntra - mtcn) // Eq. 22
+		sigma2 := sq(cr.SIntra - mtcnI1) // Eq. 22
 		lamSrcI1 := (1 - m.pOut[i]) * lam[i]
 		if m.Opt.SourceAggregate {
 			lamSrcI1 = lamI1
@@ -313,6 +363,11 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 		cr.TIntra = cr.WIntra + cr.SIntra + cr.RIntra // Eq. 25
 
 		// ── Inter-cluster (ECN1 + ICN2), averaged over destinations v ──
+		// The merged journey crosses three link technologies: the ascent
+		// through cluster i's ECN1, the ICN2 traverse (whose first and last
+		// hops are the concentrator↔ICN2 links), and the descent through
+		// cluster v's ECN1 ending on its switch→node link.
+		mtcsE1i := m.mtcsE1[i]
 		var sumT, sumW, sumS, sumR, sumConc float64
 		interOK := true
 		var bottleneck string
@@ -321,6 +376,7 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 				continue
 			}
 			clv := &sys.Clusters[v]
+			mtcnE1v, mtcsE1v := m.mtcnE1[v], m.mtcsE1[v]
 			lamE1 := outRate[i] + outRate[v] // Eq. 6
 			etaE1 := m.dAvg[i] * lamE1 / (f * float64(ni) * nNodes)
 			// Eq. 7: pair-extrapolated total ICN2 load; Eq. 12 normalization
@@ -344,14 +400,39 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 						return etaI2
 					}
 					return etaE1
-				}, mtcs, mtcn)
+				}, func(stage int) float64 {
+					// Tier-indexed Eq. 16 service: stages j−1 and j+2h−2 are
+					// the concentrator↔ICN2 entry/exit links, the stages
+					// between them ICN2 switch links, everything before the
+					// source ECN1, everything after the destination ECN1.
+					switch {
+					case stage < j-1:
+						return mtcsE1i
+					case stage == j-1 || stage == j+2*h-2:
+						return m.mtcsConc
+					case stage < j+2*h-1:
+						return m.mtcsI2
+					default:
+						return mtcsE1v
+					}
+				}, mtcnE1v)
 				if !ok {
 					interOK = false
 					bottleneck = fmt.Sprintf("channel-chain(E,i=%d,v=%d)", i, v)
 					return false
 				}
 				se += p * s0
-				re += p * (float64(k-1)*tcs + tcn) // Eq. 32
+				// Eq. 32: the tail pipeline crosses k−1 switch-class links
+				// and the final node link. With heterogeneous tiers the sum
+				// splits per network; the homogeneous form is kept verbatim
+				// so the default evaluation order (and its results) is
+				// unchanged.
+				if m.hetero {
+					re += p * (float64(j-1)*m.tcsE1[i] + 2*m.tcsConc +
+						float64(2*h-2)*m.tcsI2 + float64(l-1)*m.tcsE1[v] + m.tcnE1[v])
+				} else {
+					re += p * (float64(k-1)*m.tcsE1[i] + m.tcnE1[v])
+				}
 				return true
 			})
 			if !interOK {
@@ -361,19 +442,20 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 			if m.Opt.SourceAggregate {
 				lamSrcE = lamE1
 			}
-			we, err := queueing.MG1Wait(lamSrcE, se, sq(se-mtcn)) // Eq. 30
+			we, err := queueing.MG1Wait(lamSrcE, se, sq(se-mtcnE1v)) // Eq. 30
 			if err != nil {
 				interOK = false
 				bottleneck = fmt.Sprintf("source-queue(E,i=%d,v=%d)", i, v)
 				break
 			}
 			// Eq. 33–34: concentrator + dispatcher waits. The service is
-			// deterministic M·t_cs, optionally extended by the ICN2 entry
-			// blocking (ConcServiceFeedback refinement).
-			concService := mtcs
+			// deterministic M·t_cs of the concentrator links' class,
+			// optionally extended by the ICN2 entry blocking at that tier's
+			// M·t_cs (ConcServiceFeedback refinement).
+			concService := m.mtcsConc
 			concVariance := 0.0
 			if m.Opt.ConcServiceFeedback {
-				extra := 0.5 * etaI2 * mtcs * mtcs
+				extra := 0.5 * etaI2 * m.mtcsI2 * m.mtcsI2
 				concService += extra
 				concVariance = extra * extra // blocking is bursty, not fixed
 			}

@@ -1,0 +1,148 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// TestTierOverridesEqualToBaseMatchHomogeneous pins the tier-indexed
+// evaluation against the homogeneous one: overriding every tier with the
+// base vector itself must reproduce the homogeneous model to floating-point
+// noise (the heterogeneous path splits Eq. 32's sum per network, which may
+// reassociate the arithmetic but not change the value materially).
+func TestTierOverridesEqualToBaseMatchHomogeneous(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	base := units.Default()
+	m0, err := New(sys, base, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base
+	b := base.Base()
+	over.Tiers = units.TierParams{ICN1: &b, ECN1: &b, ICN2: &b, Conc: &b}
+	m1, err := New(sys, over, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lam := range []float64{1e-5, 1e-4, 3e-4} {
+		r0, err0 := m0.Evaluate(lam)
+		r1, err1 := m1.Evaluate(lam)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("λ=%v: saturation disagrees: %v vs %v", lam, err0, err1)
+		}
+		if err0 != nil {
+			continue
+		}
+		if rel := math.Abs(r0.MeanLatency-r1.MeanLatency) / r0.MeanLatency; rel > 1e-12 {
+			t.Errorf("λ=%v: base-valued overrides changed the latency: %v vs %v (rel %v)",
+				lam, r0.MeanLatency, r1.MeanLatency, rel)
+		}
+	}
+}
+
+// TestSlowICN2RaisesInterOnly: degrading only the global tree must leave the
+// intra-cluster journey untouched, raise the inter-cluster terms, and pull
+// the saturation point in.
+func TestSlowICN2RaisesInterOnly(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	base := units.Default()
+	slow := base
+	slowICN2 := units.LinkClass{AlphaNet: 0.08, AlphaSw: 0.04, BetaNet: 0.008}
+	slow.Tiers.ICN2 = &slowICN2
+	slow.Tiers.Conc = &slowICN2
+
+	m0, err := New(sys, base, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(sys, slow, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := 1e-4
+	r0, err := m0.Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m1.Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r0.PerCluster {
+		a, b := r0.PerCluster[i], r1.PerCluster[i]
+		if a.TIntra != b.TIntra {
+			t.Errorf("cluster %d: slow ICN2 changed the intra journey: %v vs %v", i, a.TIntra, b.TIntra)
+		}
+		if !(b.TInter > a.TInter) {
+			t.Errorf("cluster %d: slow ICN2 did not raise TInter: %v vs %v", i, a.TInter, b.TInter)
+		}
+		if !(b.WConc > a.WConc) {
+			t.Errorf("cluster %d: slow concentrator links did not raise WConc: %v vs %v", i, a.WConc, b.WConc)
+		}
+	}
+	if !(r1.MeanLatency > r0.MeanLatency) {
+		t.Errorf("slow ICN2 did not raise the mean: %v vs %v", r0.MeanLatency, r1.MeanLatency)
+	}
+	s0 := m0.SaturationPoint(1e-6, 1, 1e-3)
+	s1 := m1.SaturationPoint(1e-6, 1, 1e-3)
+	if !(s1 < s0) {
+		t.Errorf("slow ICN2 did not pull saturation in: %v vs %v", s0, s1)
+	}
+}
+
+// TestPerClusterICN1Override: a slow ICN1 in one cluster group must slow
+// that group's intra journeys and leave the other clusters' intra terms
+// exactly alone.
+func TestPerClusterICN1Override(t *testing.T) {
+	slowICN1 := units.LinkClass{AlphaNet: 0.08, AlphaSw: 0.04, BetaNet: 0.008}
+	mk := func(withOverride bool) *Model {
+		specs := []system.ClusterSpec{
+			{Count: 2, Levels: 1},
+			{Count: 2, Levels: 2},
+		}
+		if withOverride {
+			specs[0].ICN1 = &slowICN1
+		}
+		sys := system.MustNew(system.Organization{Name: "t", Ports: 4, Specs: specs})
+		m, err := New(sys, units.Default(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	lam := 1e-4
+	r0, err := mk(false).Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mk(true).Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !(r1.PerCluster[i].TIntra > r0.PerCluster[i].TIntra) {
+			t.Errorf("cluster %d: slow ICN1 did not raise TIntra: %v vs %v",
+				i, r0.PerCluster[i].TIntra, r1.PerCluster[i].TIntra)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if r1.PerCluster[i].TIntra != r0.PerCluster[i].TIntra {
+			t.Errorf("cluster %d: unrelated cluster's TIntra changed: %v vs %v",
+				i, r0.PerCluster[i].TIntra, r1.PerCluster[i].TIntra)
+		}
+	}
+}
+
+// TestHeteroModelValidatesTiers: a bad tier override must be rejected at
+// model construction.
+func TestHeteroModelValidatesTiers(t *testing.T) {
+	sys := system.MustNew(system.Table1Org2())
+	par := units.Default()
+	par.Tiers.ICN2 = &units.LinkClass{AlphaNet: -1, AlphaSw: 0, BetaNet: 0.002}
+	if _, err := New(sys, par, DefaultOptions()); err == nil {
+		t.Fatal("model accepted a negative tier latency")
+	}
+}

@@ -97,9 +97,11 @@ func NewRunner(scale Scale) Runner {
 // simSpec builds the simulation side of an experiment as a sweep spec: an
 // explicit load grid at the runner's measurement scale, with engine-side
 // analysis disabled (experiments attach their own model curves, which may
-// use custom options).
+// use custom options). Tier overrides carried by par become the spec's link
+// axis, so a study handed heterogeneous technology simulates it too
+// (studies that sweep links themselves overwrite Links afterwards).
 func (r Runner) simSpec(name string, org system.Organization, par units.Params, lambdas []float64) sweep.Spec {
-	return sweep.Spec{
+	spec := sweep.Spec{
 		Name:     name,
 		Orgs:     []string{system.Format(org)},
 		Messages: []sweep.MessageGeometry{{Flits: par.MessageFlits, FlitBytes: par.FlitBytes}},
@@ -109,6 +111,10 @@ func (r Runner) simSpec(name string, org system.Organization, par units.Params, 
 		Model: "none",
 		Tech:  &sweep.Tech{AlphaNet: par.AlphaNet, AlphaSw: par.AlphaSw, BetaNet: par.BetaNet},
 	}
+	if !par.Tiers.Homogeneous() {
+		spec.Links = []string{par.Tiers.String()}
+	}
+	return spec
 }
 
 // runSweep executes a spec on the runner's engine and collects the results
@@ -467,6 +473,83 @@ func (r Runner) WorkloadStudy(org system.Organization, par units.Params, points 
 		return [2]int{j.ArrivalIndex*len(sizes) + j.SizeIndex, j.LoadIndex}
 	}) {
 		series[k[0]+1].Y[k[1]] = st.mean
+	}
+	return series, nil
+}
+
+// LinkHeterogeneityConfigs are the per-tier technology points of the
+// link-heterogeneity study (units.ParseTiers syntax): the homogeneous §4
+// technology, a slow campus backbone (ICN2 and concentrator links at double
+// latency and half bandwidth), and a fast intra-cluster fabric.
+var LinkHeterogeneityConfigs = []struct{ Label, Links string }{
+	{"uniform", "uniform"},
+	{"slow icn2", "icn2=0.04/0.02/0.004+conc=0.04/0.02/0.004"},
+	{"fast icn1", "icn1=0.01/0.005/0.001"},
+}
+
+// LinkHeterogeneityStudy (Extension 4) opens the last heterogeneity
+// dimension the paper names but does not evaluate: per-tier link technology.
+// For each configuration it runs the tier-indexed model and the simulator
+// over a common traffic grid (bounded by the slowest configuration's
+// saturation), so the series pair off as analysis/simulation per
+// configuration — the same model-vs-simulation reading as Figures 3–4,
+// repeated per link technology.
+func (r Runner) LinkHeterogeneityStudy(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	sys, err := system.New(org)
+	if err != nil {
+		return nil, err
+	}
+	configs := LinkHeterogeneityConfigs
+	models := make([]*analytic.Model, len(configs))
+	linksAxis := make([]string, len(configs))
+	minSat := math.Inf(1)
+	for ci, c := range configs {
+		p := par
+		tiers, err := units.ParseTiers(c.Links)
+		if err != nil {
+			return nil, err
+		}
+		p.Tiers = tiers
+		linksAxis[ci] = c.Links
+		if models[ci], err = analytic.New(sys, p, r.Options); err != nil {
+			return nil, err
+		}
+		sat := models[ci].SaturationPoint(1e-6, 1, 1e-3)
+		if math.IsInf(sat, 1) {
+			return nil, fmt.Errorf("experiments: no saturation point for links %q", c.Links)
+		}
+		if sat < minSat {
+			minSat = sat
+		}
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		// Stay in the steady-state region, where the model is valid.
+		xs[i] = 0.55 * minSat * float64(i+1) / float64(points)
+	}
+	series := make([]plot.Series, 0, 2*len(configs))
+	for ci, c := range configs {
+		an := plot.Series{Label: "analysis " + c.Label, X: xs, Y: make([]float64, points)}
+		for i, x := range xs {
+			v, err := models[ci].MeanLatency(x)
+			if err != nil {
+				v = math.NaN()
+			}
+			an.Y[i] = v
+		}
+		series = append(series,
+			an,
+			plot.Series{Label: "sim " + c.Label, X: xs, Y: make([]float64, points)},
+		)
+	}
+	spec := r.simSpec("link-hetero", org, par, xs)
+	spec.Links = linksAxis
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{j.LinksIndex, j.LoadIndex} }) {
+		series[2*k[0]+1].Y[k[1]] = st.mean
 	}
 	return series, nil
 }

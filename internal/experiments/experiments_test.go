@@ -190,6 +190,50 @@ func TestWorkloadStudy(t *testing.T) {
 	}
 }
 
+func TestLinkHeterogeneityStudy(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.LinkHeterogeneityStudy(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6 (analysis+sim per link configuration)", len(series))
+	}
+	simUniform, simSlow, simFast := series[1], series[3], series[5]
+	for _, s := range series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || y <= 0 {
+				t.Errorf("%s[%d] = %v (unpopulated)", s.Label, i, y)
+			}
+		}
+	}
+	for i := range simUniform.Y {
+		// A slower global tier must cost latency, a faster cluster fabric
+		// must save it, at every common load.
+		if !(simSlow.Y[i] > simUniform.Y[i]) {
+			t.Errorf("point %d: slow-ICN2 sim %v not above uniform %v", i, simSlow.Y[i], simUniform.Y[i])
+		}
+		if !(simFast.Y[i] < simUniform.Y[i]) {
+			t.Errorf("point %d: fast-ICN1 sim %v not below uniform %v", i, simFast.Y[i], simUniform.Y[i])
+		}
+	}
+	// The acceptance bar: the tier-indexed model tracks the simulator on
+	// heterogeneous links about as well as on the homogeneous system
+	// (compare TestSteadyStateAgreement / TestRateHeterogeneityStudy).
+	for ci := 0; ci < 3; ci++ {
+		an, sim := series[2*ci], series[2*ci+1]
+		for i := range an.Y {
+			if math.IsNaN(an.Y[i]) || math.IsNaN(sim.Y[i]) {
+				continue
+			}
+			if math.Abs(an.Y[i]-sim.Y[i]) > 0.25*sim.Y[i] {
+				t.Errorf("%s point %d: analysis %v vs sim %v differ by >25%%",
+					an.Label, i, an.Y[i], sim.Y[i])
+			}
+		}
+	}
+}
+
 func TestRoutingAblation(t *testing.T) {
 	r := NewRunner(tinyScale())
 	series, err := r.RoutingAblation(tinyOrg(), units.Default(), 3)

@@ -1,0 +1,129 @@
+package mcsim
+
+import (
+	"reflect"
+	"testing"
+
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// TestBaseValuedTierOverridesAreResultIdentical: setting every tier override
+// to the base vector itself must reproduce the homogeneous run bit for bit —
+// the channel table gets the same flit times, so the event stream, RNG
+// consumption and every measured latency are unchanged.
+func TestBaseValuedTierOverridesAreResultIdentical(t *testing.T) {
+	cfg := smallConfig(2e-4, 7)
+	res0, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cfg.Par.Base()
+	cfg.Par.Tiers = units.TierParams{ICN1: &b, ECN1: &b, ICN2: &b, Conc: &b}
+	org := cfg.Org
+	org.Specs = append([]system.ClusterSpec(nil), org.Specs...)
+	for i := range org.Specs {
+		org.Specs[i].ICN1, org.Specs[i].ECN1 = &b, &b
+	}
+	cfg.Org = org
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res0, res1) {
+		t.Fatalf("base-valued overrides changed the simulation:\n%+v\nvs\n%+v", res0, res1)
+	}
+}
+
+// TestSlowICN2LeavesIntraTrafficUntouched: degrading the global tree and the
+// concentrator links slows only the inter-cluster journeys — intra messages
+// never touch those channels and their generation stream is timing-
+// independent, so the intra summary must stay bit-identical while the inter
+// mean rises.
+func TestSlowICN2LeavesIntraTrafficUntouched(t *testing.T) {
+	cfg := smallConfig(2e-4, 11)
+	res0, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := units.LinkClass{AlphaNet: 0.08, AlphaSw: 0.04, BetaNet: 0.008}
+	cfg.Par.Tiers.ICN2 = &slow
+	cfg.Par.Tiers.Conc = &slow
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.IntraLatency != res1.IntraLatency {
+		t.Errorf("slow ICN2 changed the intra summary:\n%+v\nvs\n%+v", res0.IntraLatency, res1.IntraLatency)
+	}
+	if !(res1.InterLatency.Mean > res0.InterLatency.Mean) {
+		t.Errorf("slow ICN2 did not raise the inter mean: %v vs %v",
+			res0.InterLatency.Mean, res1.InterLatency.Mean)
+	}
+	if !(res1.Latency.Mean > res0.Latency.Mean) {
+		t.Errorf("slow ICN2 did not raise the overall mean: %v vs %v",
+			res0.Latency.Mean, res1.Latency.Mean)
+	}
+}
+
+// TestPerClusterLinkClassesAffectOnlyThatGroup: a slow ICN1 in the first
+// cluster group slows that group's intra journeys; the other group's
+// per-cluster summaries include inter traffic, so assert through the
+// unloaded per-cluster means at a negligible load.
+func TestPerClusterLinkClassesAffectOnlyThatGroup(t *testing.T) {
+	slow := units.LinkClass{AlphaNet: 0.08, AlphaSw: 0.04, BetaNet: 0.008}
+	cfg := smallConfig(1e-6, 3)
+	res0, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org := cfg.Org
+	org.Specs = append([]system.ClusterSpec(nil), org.Specs...)
+	org.Specs[0].ICN1 = &slow
+	cfg.Org = org
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters 0 and 1 (the overridden group) deliver intra messages over
+	// the slow fabric; clusters 2 and 3 are untouched (their intra paths use
+	// their own ICN1, their inter paths use ECN1/ICN2 — also untouched).
+	for i := 2; i < 4; i++ {
+		if res0.PerCluster[i] != res1.PerCluster[i] {
+			t.Errorf("cluster %d summary changed by another group's ICN1 override:\n%+v\nvs\n%+v",
+				i, res0.PerCluster[i], res1.PerCluster[i])
+		}
+	}
+	if !(res1.PerCluster[0].Mean > res0.PerCluster[0].Mean) {
+		t.Errorf("cluster 0 mean did not rise: %v vs %v", res0.PerCluster[0].Mean, res1.PerCluster[0].Mean)
+	}
+}
+
+// TestHeteroLinksModelSimAgreement: at a mild load the tier-indexed analytic
+// model must track the simulator on a link-heterogeneous system about as
+// well as it does on the homogeneous one (the Figures 3–4 agreement).
+// Exercised through the sweep layer in internal/experiments; here we pin the
+// raw zero-load floor: with ~no contention the simulated mean must exceed
+// the homogeneous run's by the extra ICN2 pipeline time, i.e. strictly
+// ordered slow > base for inter traffic.
+func TestHeteroLinksZeroLoadOrdering(t *testing.T) {
+	mk := func(tiers units.TierParams) Result {
+		cfg := smallConfig(1e-6, 5)
+		cfg.Par.Tiers = tiers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	slow := units.LinkClass{AlphaNet: 0.08, AlphaSw: 0.04, BetaNet: 0.008}
+	fast := units.LinkClass{AlphaNet: 0.01, AlphaSw: 0.005, BetaNet: 0.001}
+	base := mk(units.TierParams{})
+	slower := mk(units.TierParams{ICN2: &slow, Conc: &slow})
+	faster := mk(units.TierParams{ICN2: &fast, Conc: &fast})
+	if !(faster.InterLatency.Mean < base.InterLatency.Mean &&
+		base.InterLatency.Mean < slower.InterLatency.Mean) {
+		t.Errorf("inter latencies not ordered fast < base < slow: %v, %v, %v",
+			faster.InterLatency.Mean, base.InterLatency.Mean, slower.InterLatency.Mean)
+	}
+}

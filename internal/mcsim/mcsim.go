@@ -221,20 +221,26 @@ func New(cfg Config) (*Sim, error) {
 	s := &Sim{cfg: cfg, sys: sys}
 
 	// Lay out the global channel table: per-cluster ICN1, ECN1 and
-	// concentrator links, then ICN2. Node↔switch links use t_cn; everything
-	// else (switch↔switch, root↔concentrator, concentrator↔ICN2) uses t_cs.
-	tcn, tcs := cfg.Par.Tcn(), cfg.Par.Tcs()
+	// concentrator links, then ICN2. Node↔switch links use their network's
+	// t_cn, switch↔switch links its t_cs — both resolved per tier, so every
+	// network carries its own link technology. Root↔concentrator bridges and
+	// the concentrator↔ICN2 links (ICN2's "node" channels — its nodes are
+	// devices) use the concentrator class's t_cs; with no overrides every
+	// channel gets the same t_cn/t_cs as the single-technology layout.
+	lm := cfg.Par.FlitBytes
+	concTcs := cfg.Par.ConcClass().Tcs(lm)
+	icn2Tcs := cfg.Par.ICN2Class().Tcs(lm)
 	var flits []float64
 	appendTree := func(t interface {
 		Channels() int
 		IsNodeChannel(int) bool
-	}, nodesAreDevices bool) int32 {
+	}, nodeTime, swTime float64) int32 {
 		base := int32(len(flits))
 		for c := 0; c < t.Channels(); c++ {
-			if !nodesAreDevices && t.IsNodeChannel(c) {
-				flits = append(flits, tcn)
+			if t.IsNodeChannel(c) {
+				flits = append(flits, nodeTime)
 			} else {
-				flits = append(flits, tcs)
+				flits = append(flits, swTime)
 			}
 		}
 		return base
@@ -243,20 +249,27 @@ func New(cfg Config) (*Sim, error) {
 	for i := range sys.Clusters {
 		cl := &sys.Clusters[i]
 		cn := &s.clusters[i]
-		cn.icn1Base = appendTree(cl.Shape, false)
-		cn.ecn1Base = appendTree(cl.Shape, false)
+		icn1 := cfg.Par.ICN1Class()
+		if cl.ICN1 != nil {
+			icn1 = *cl.ICN1
+		}
+		ecn1 := cfg.Par.ECN1Class()
+		if cl.ECN1 != nil {
+			ecn1 = *cl.ECN1
+		}
+		cn.icn1Base = appendTree(cl.Shape, icn1.Tcn(lm), icn1.Tcs(lm))
+		cn.ecn1Base = appendTree(cl.Shape, ecn1.Tcn(lm), ecn1.Tcs(lm))
 		cn.rootUpBase = int32(len(flits))
 		for r := 0; r < cl.Shape.Roots(); r++ {
-			flits = append(flits, tcs)
+			flits = append(flits, concTcs)
 		}
 		cn.rootDownBase = int32(len(flits))
 		for r := 0; r < cl.Shape.Roots(); r++ {
-			flits = append(flits, tcs)
+			flits = append(flits, concTcs)
 		}
 		cn.router = routing.Router{T: cl.Shape, Mode: cfg.RoutingMode}
 	}
-	// ICN2 "nodes" are concentrators (devices), so its node links also use t_cs.
-	s.icn2Base = appendTree(sys.ICN2, true)
+	s.icn2Base = appendTree(sys.ICN2, concTcs, icn2Tcs)
 	s.icn2R = routing.Router{T: sys.ICN2, Mode: cfg.RoutingMode}
 	s.net = wormhole.New(&s.sched, flits)
 	s.hid = s.sched.Register(s)

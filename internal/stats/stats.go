@@ -178,10 +178,13 @@ func (h *Histogram) Total() int64 {
 }
 
 // Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) from the
-// binned data, or NaN if the histogram is empty.
+// binned data, or NaN if the histogram is empty or q is not in [0, 1]
+// (including NaN). Zero-mass bins are skipped, so a target landing on an
+// empty bin's boundary interpolates within the nearest populated bin and
+// never divides by an empty count.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Total()
-	if total == 0 || q < 0 || q > 1 {
+	if total == 0 || !(q >= 0 && q <= 1) {
 		return math.NaN()
 	}
 	target := q * float64(total)
@@ -251,9 +254,11 @@ func (b *BatchMeans) HalfWidth(z float64) float64 {
 }
 
 // Quantile returns the exact q-quantile of a sample (the sample is sorted in
-// place). It returns NaN for an empty sample or q outside [0, 1].
+// place). It returns NaN for an empty sample or q outside [0, 1], including
+// NaN (which every comparison-based range check lets through — left
+// unguarded it became an out-of-range index).
 func Quantile(sample []float64, q float64) float64 {
-	if len(sample) == 0 || q < 0 || q > 1 {
+	if len(sample) == 0 || !(q >= 0 && q <= 1) {
 		return math.NaN()
 	}
 	sort.Float64s(sample)

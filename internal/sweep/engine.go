@@ -9,7 +9,6 @@ import (
 	"mcnet/internal/analytic"
 	"mcnet/internal/mcsim"
 	"mcnet/internal/system"
-	"mcnet/internal/units"
 	"mcnet/internal/workload"
 )
 
@@ -235,9 +234,9 @@ func Execute(j Job) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	par := units.Params{
-		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
-		FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
+	par, err := j.Params()
+	if err != nil {
+		return Outcome{}, err
 	}
 	res, err := mcsim.Run(mcsim.Config{
 		Org: org, Par: par, LambdaG: j.Lambda,
@@ -270,14 +269,18 @@ type analysisPoint struct {
 }
 
 // analysisKey indexes the analysis table: the model latency depends only on
-// the organization, the message geometry and the load.
-func analysisKey(j Job) [3]int { return [3]int{j.OrgIndex, j.MsgIndex, j.LoadIndex} }
+// the organization, the message geometry, the link-technology point and the
+// load.
+func analysisKey(j Job) [4]int {
+	return [4]int{j.OrgIndex, j.MsgIndex, j.LinksIndex, j.LoadIndex}
+}
 
 // analysisTable precomputes the analytic latency for every distinct
-// (org, message, load) combination of the grid, sequentially and before any
-// simulation starts, so emission never blocks on model evaluation.
-func analysisTable(spec Spec, jobs []Job) (map[[3]int]analysisPoint, error) {
-	table := make(map[[3]int]analysisPoint)
+// (org, message, links, load) combination of the grid, sequentially and
+// before any simulation starts, so emission never blocks on model
+// evaluation.
+func analysisTable(spec Spec, jobs []Job) (map[[4]int]analysisPoint, error) {
+	table := make(map[[4]int]analysisPoint)
 	if spec.Model == "none" {
 		nan := analysisPoint{value: Float(math.NaN())}
 		for _, j := range jobs {
@@ -289,14 +292,14 @@ func analysisTable(spec Spec, jobs []Job) (map[[3]int]analysisPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	type mkey struct{ org, msg int }
+	type mkey struct{ org, msg, links int }
 	models := make(map[mkey]*analytic.Model)
 	for _, j := range jobs {
 		k := analysisKey(j)
 		if _, ok := table[k]; ok {
 			continue
 		}
-		mk := mkey{j.OrgIndex, j.MsgIndex}
+		mk := mkey{j.OrgIndex, j.MsgIndex, j.LinksIndex}
 		m, ok := models[mk]
 		if !ok {
 			org, err := system.ParseOrganization(j.Org)
@@ -307,9 +310,9 @@ func analysisTable(spec Spec, jobs []Job) (map[[3]int]analysisPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			par := units.Params{
-				AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
-				FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
+			par, err := j.Params()
+			if err != nil {
+				return nil, err
 			}
 			m, err = analytic.New(sys, par, opts)
 			if err != nil {

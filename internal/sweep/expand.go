@@ -11,6 +11,7 @@ import (
 
 	"mcnet/internal/analytic"
 	"mcnet/internal/system"
+	"mcnet/internal/units"
 	"mcnet/internal/workload"
 )
 
@@ -36,6 +37,11 @@ type Job struct {
 	// specs keep their cache keys and derived seeds.
 	Arrival  string `json:"arrival,omitempty"`
 	SizeDist string `json:"size_dist,omitempty"`
+	// Links is the canonical link-heterogeneity axis value (units.ParseTiers
+	// syntax). The empty string encodes the homogeneous default and is
+	// omitted from the identity, so jobs of pre-link-axis specs keep their
+	// cache keys and derived seeds.
+	Links string `json:"links,omitempty"`
 	// Lambda is λ_g, the per-node offered traffic.
 	Lambda float64 `json:"lambda"`
 	// Rep is the replication index; SimSeed is the derived simulator seed.
@@ -57,6 +63,7 @@ type Job struct {
 	MsgIndex     int `json:"msg_index"`
 	PatternIndex int `json:"pattern_index"`
 	RoutingIndex int `json:"routing_index"`
+	LinksIndex   int `json:"links_index"`
 	ArrivalIndex int `json:"arrival_index"`
 	SizeIndex    int `json:"size_index"`
 	LoadIndex    int `json:"load_index"`
@@ -76,6 +83,29 @@ func (j Job) SizeName() string {
 		return "fixed"
 	}
 	return j.SizeDist
+}
+
+// LinksName returns the link axis value with the default made explicit.
+func (j Job) LinksName() string {
+	if j.Links == "" {
+		return "uniform"
+	}
+	return j.Links
+}
+
+// Params materializes the job's technology parameters, including any
+// link-heterogeneity overrides.
+func (j Job) Params() (units.Params, error) {
+	par := units.Params{
+		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
+		FlitBytes: j.FlitBytes, MessageFlits: j.Flits,
+	}
+	tiers, err := units.ParseTiers(j.Links)
+	if err != nil {
+		return par, err
+	}
+	par.Tiers = tiers
+	return par, nil
 }
 
 // identity renders the outcome-determining fields canonically. Floats use
@@ -107,6 +137,9 @@ func (j Job) identity() string {
 	if j.SizeDist != "" {
 		parts = append(parts, "size="+j.SizeDist)
 	}
+	if j.Links != "" {
+		parts = append(parts, "links="+j.Links)
+	}
 	return strings.Join(parts, "|")
 }
 
@@ -130,8 +163,8 @@ func deriveSeed(base uint64, j Job) uint64 {
 }
 
 // Expand normalizes and validates the spec and returns its full job grid in
-// the canonical order org → message → pattern → routing → arrival → size →
-// load → rep.
+// the canonical order org → message → pattern → routing → links → arrival →
+// size → load → rep.
 func Expand(spec Spec) ([]Job, error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
@@ -149,6 +182,10 @@ func Expand(spec Spec) ([]Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	links, err := canonicalLinks(spec.Links)
+	if err != nil {
+		return nil, err
+	}
 	var jobs []Job
 	for oi, org := range spec.Orgs {
 		canonical, err := canonicalOrg(org)
@@ -156,41 +193,48 @@ func Expand(spec Spec) ([]Job, error) {
 			return nil, err
 		}
 		for mi, msg := range spec.Messages {
-			par := spec.params(msg)
+			par, err := spec.params(msg, "")
+			if err != nil {
+				return nil, err
+			}
 			for pi, pat := range spec.Patterns {
 				for ri, rt := range spec.Routing {
-					for ai, arr := range arrivals {
-						for si, sz := range sizes {
-							for li, lambda := range grids[oi] {
-								for rep := 0; rep < spec.Reps; rep++ {
-									j := Job{
-										Org:       canonical,
-										Flits:     msg.Flits,
-										FlitBytes: msg.FlitBytes,
-										Pattern:   pat,
-										Routing:   rt,
-										Arrival:   arr,
-										SizeDist:  sz,
-										Lambda:    lambda,
-										Rep:       rep,
-										AlphaNet:  par.AlphaNet,
-										AlphaSw:   par.AlphaSw,
-										BetaNet:   par.BetaNet,
-										Warmup:    spec.Warmup,
-										Measure:   spec.Measure,
-										Drain:     spec.Drain,
+					for lki, lk := range links {
+						for ai, arr := range arrivals {
+							for si, sz := range sizes {
+								for li, lambda := range grids[oi] {
+									for rep := 0; rep < spec.Reps; rep++ {
+										j := Job{
+											Org:       canonical,
+											Flits:     msg.Flits,
+											FlitBytes: msg.FlitBytes,
+											Pattern:   pat,
+											Routing:   rt,
+											Links:     lk,
+											Arrival:   arr,
+											SizeDist:  sz,
+											Lambda:    lambda,
+											Rep:       rep,
+											AlphaNet:  par.AlphaNet,
+											AlphaSw:   par.AlphaSw,
+											BetaNet:   par.BetaNet,
+											Warmup:    spec.Warmup,
+											Measure:   spec.Measure,
+											Drain:     spec.Drain,
 
-										Index:        len(jobs),
-										OrgIndex:     oi,
-										MsgIndex:     mi,
-										PatternIndex: pi,
-										RoutingIndex: ri,
-										ArrivalIndex: ai,
-										SizeIndex:    si,
-										LoadIndex:    li,
+											Index:        len(jobs),
+											OrgIndex:     oi,
+											MsgIndex:     mi,
+											PatternIndex: pi,
+											RoutingIndex: ri,
+											LinksIndex:   lki,
+											ArrivalIndex: ai,
+											SizeIndex:    si,
+											LoadIndex:    li,
+										}
+										j.SimSeed = deriveSeed(spec.BaseSeed, j)
+										jobs = append(jobs, j)
 									}
-									j.SimSeed = deriveSeed(spec.BaseSeed, j)
-									jobs = append(jobs, j)
 								}
 							}
 						}
@@ -200,6 +244,20 @@ func Expand(spec Spec) ([]Job, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// canonicalLinks maps link axis specs to canonical tier specs, with the
+// homogeneous default encoded as the empty string (see Job.Links).
+func canonicalLinks(specs []string) ([]string, error) {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		t, err := units.ParseTiers(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t.String()
+	}
+	return out, nil
 }
 
 // canonicalArrivals maps arrival axis specs to canonical names, with the
@@ -246,7 +304,9 @@ func canonicalOrg(spec string) (string, error) {
 
 // loadGrids resolves the offered-traffic axis per organization: either the
 // explicit lambda list (shared), or Points loads ending at MaxFraction × the
-// organization's analytic saturation point maximized over the message axis.
+// organization's analytic saturation point maximized over the message and
+// link axes (so all of an organization's curves share one grid, as the
+// paper's figures do).
 func loadGrids(spec Spec) ([][]float64, error) {
 	grids := make([][]float64, len(spec.Orgs))
 	if len(spec.Loads.Lambdas) > 0 {
@@ -270,12 +330,18 @@ func loadGrids(spec Spec) ([][]float64, error) {
 		}
 		var sat float64
 		for _, msg := range spec.Messages {
-			m, err := analytic.New(sys, spec.params(msg), opts)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: spec %q: org %q: %v", spec.Name, orgSpec, err)
-			}
-			if s := m.SaturationPoint(1e-6, 1, 1e-3); !math.IsInf(s, 1) && s > sat {
-				sat = s
+			for _, links := range spec.Links {
+				par, err := spec.params(msg, links)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: spec %q: %v", spec.Name, err)
+				}
+				m, err := analytic.New(sys, par, opts)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: spec %q: org %q: %v", spec.Name, orgSpec, err)
+				}
+				if s := m.SaturationPoint(1e-6, 1, 1e-3); !math.IsInf(s, 1) && s > sat {
+					sat = s
+				}
 			}
 		}
 		if sat == 0 {

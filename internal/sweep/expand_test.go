@@ -143,6 +143,93 @@ func TestAxisIndicesDoNotAffectKeys(t *testing.T) {
 	}
 }
 
+// TestLinkAxisIdentityOmission pins the cache-compatibility contract of the
+// link-heterogeneity axis: a spec that does not sweep links (or sweeps only
+// the explicit "uniform" point) produces jobs with exactly the keys and
+// derived seeds it produced before the axis existed, and only non-default
+// link points change them.
+func TestLinkAxisIdentityOmission(t *testing.T) {
+	plain, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := tinySpec()
+	explicit.Links = []string{"uniform"}
+	expl, err := Expand(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(expl) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(plain), len(expl))
+	}
+	for i := range plain {
+		if plain[i].Key() != expl[i].Key() || plain[i].SimSeed != expl[i].SimSeed {
+			t.Fatalf("job %d: explicit uniform links changed identity:\n%+v\nvs\n%+v",
+				i, plain[i], expl[i])
+		}
+		if plain[i].Links != "" || plain[i].LinksName() != "uniform" {
+			t.Fatalf("job %d: default links not canonicalized to the empty string: %+v", i, plain[i])
+		}
+	}
+
+	hetero := tinySpec()
+	hetero.Links = []string{"uniform", "icn2=0.04/0.02/0.004"}
+	het, err := Expand(hetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(het) != 2*len(plain) {
+		t.Fatalf("links axis did not double the grid: %d vs %d", len(het), len(plain))
+	}
+	keys := map[string]bool{}
+	for _, j := range plain {
+		keys[j.Key()] = true
+	}
+	for _, j := range het {
+		switch j.Links {
+		case "":
+			if !keys[j.Key()] {
+				t.Fatalf("uniform job %+v lost its pre-axis key", j)
+			}
+		case "icn2=0.04/0.02/0.004":
+			if keys[j.Key()] {
+				t.Fatalf("hetero job %+v collides with a uniform key", j)
+			}
+		default:
+			t.Fatalf("unexpected canonical links value %q", j.Links)
+		}
+	}
+}
+
+// TestLinkAxisCanonicalization: equivalent tier specs (reordered, aliased)
+// share cache keys.
+func TestLinkAxisCanonicalization(t *testing.T) {
+	a := tinySpec()
+	a.Links = []string{"icn2=0.04/0.02/0.004+conc=0.03/0.015/0.004"}
+	b := tinySpec()
+	b.Links = []string{"conc=0.03/0.015/0.004+icn2=0.04/0.02/0.004"}
+	ja, err := Expand(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := Expand(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ja {
+		if ja[i].Key() != jb[i].Key() {
+			t.Fatalf("job %d: reordered tier spec changed the key", i)
+		}
+	}
+	par, err := ja[0].Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Tiers.ICN2 == nil || par.Tiers.Conc == nil || par.Tiers.ICN1 != nil {
+		t.Fatalf("Job.Params did not materialize the tiers: %+v", par.Tiers)
+	}
+}
+
 func TestExplicitLambdas(t *testing.T) {
 	spec := tinySpec()
 	spec.Loads = Loads{Lambdas: []float64{1e-4, 2e-4, 3e-4}}

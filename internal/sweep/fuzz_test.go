@@ -53,8 +53,8 @@ func FuzzExpand(f *testing.F) {
 		}
 		norm := spec.Normalized()
 		want := len(norm.Orgs) * len(norm.Messages) * len(norm.Patterns) *
-			len(norm.Routing) * len(norm.Arrivals) * len(norm.Sizes) *
-			len(lambdas) * norm.Reps
+			len(norm.Routing) * len(norm.Links) * len(norm.Arrivals) *
+			len(norm.Sizes) * len(lambdas) * norm.Reps
 		if len(jobs) != want {
 			t.Fatalf("grid size %d, want axis product %d", len(jobs), want)
 		}

@@ -61,6 +61,26 @@ func goldenWorkloadSpec() Spec {
 	}
 }
 
+// goldenLinksSpec exercises the link-heterogeneity axis: the homogeneous
+// technology against a degraded global tier and a per-cluster ECN1 override
+// riding in the organization axis, with the analysis column pinned too (the
+// tier-indexed model evaluates per link class).
+func goldenLinksSpec() Spec {
+	return Spec{
+		Name: "golden-links",
+		Orgs: []string{"m=4:2x1@ecn1=0.04/0.02/0.004,2x2@2"},
+		Links: []string{
+			"uniform",
+			"icn2=0.04/0.02/0.004+conc=0.04/0.02/0.004",
+			"icn1=0.01/0.005/0.001",
+		},
+		Loads:  Loads{Lambdas: []float64{2e-4}},
+		Warmup: 100, Measure: 800, Drain: 100,
+		Reps:     2,
+		BaseSeed: 19,
+	}
+}
+
 // runCSV executes the spec at the given worker count and returns the CSV
 // sink's bytes.
 func runCSV(t *testing.T, spec Spec, workers int) []byte {
@@ -68,6 +88,7 @@ func runCSV(t *testing.T, spec Spec, workers int) []byte {
 	var buf bytes.Buffer
 	sink := NewCSVSink(&buf)
 	sink.Workload = spec.HasWorkloadAxes()
+	sink.Links = spec.HasLinkAxis()
 	eng := &Engine{Workers: workers, Sinks: []Sink{sink}}
 	if _, err := eng.Run(spec); err != nil {
 		t.Fatalf("engine: %v", err)
@@ -94,6 +115,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		{"golden_fig3_m32.csv", goldenFigureSpec()},
 		{"golden_axes.csv", goldenAxesSpec()},
 		{"golden_workload.csv", goldenWorkloadSpec()},
+		{"golden_links.csv", goldenLinksSpec()},
 	} {
 		t.Run(tc.spec.Name, func(t *testing.T) {
 			t.Parallel()

@@ -27,6 +27,10 @@ var CSVHeader = []string{
 // (see CSVSink.Workload).
 var CSVWorkloadColumns = []string{"arrival", "size_dist"}
 
+// CSVLinksColumns are the extra columns a link-heterogeneity-aware sink
+// appends (see CSVSink.Links).
+var CSVLinksColumns = []string{"links"}
+
 // CSVSink streams results as CSV rows (RFC 4180 quoting: organization specs
 // contain commas). Output is deterministic: floats use the shortest exact
 // decimal representation and NaN prints as "NaN".
@@ -36,6 +40,10 @@ type CSVSink struct {
 	// Spec.HasWorkloadAxes by the CLI) so sweeps over the paper's default
 	// workload keep producing byte-identical files to pre-workload versions.
 	Workload bool
+	// Links, when set before the first Write, appends the CSVLinksColumns.
+	// Like Workload it is opt-in (keyed off Spec.HasLinkAxis by the CLI), so
+	// homogeneous-technology sweeps keep their schema byte for byte.
+	Links bool
 
 	w      *csv.Writer
 	headed bool
@@ -57,8 +65,14 @@ func (s *CSVSink) Write(r Result) error {
 	if !s.headed {
 		s.headed = true
 		header := CSVHeader
-		if s.Workload {
-			header = append(append([]string{}, CSVHeader...), CSVWorkloadColumns...)
+		if s.Workload || s.Links {
+			header = append([]string{}, CSVHeader...)
+			if s.Workload {
+				header = append(header, CSVWorkloadColumns...)
+			}
+			if s.Links {
+				header = append(header, CSVLinksColumns...)
+			}
 		}
 		if err := s.w.Write(header); err != nil {
 			return err
@@ -75,6 +89,9 @@ func (s *CSVSink) Write(r Result) error {
 	}
 	if s.Workload {
 		row = append(row, j.ArrivalName(), j.SizeName())
+	}
+	if s.Links {
+		row = append(row, j.LinksName())
 	}
 	return s.w.Write(row)
 }

@@ -1,9 +1,10 @@
 // Package sweep is the parameter-sweep orchestration engine: it expands a
 // declarative Spec — axes over system organizations, message geometry,
-// traffic pattern, routing policy, workload (arrival process and
-// message-length distribution), offered load and replication seeds — into
-// a deterministic list of Jobs, executes them on a bounded worker pool, and
-// streams the results to CSV/JSONL sinks in expansion order.
+// traffic pattern, routing policy, link technology (per-tier classes),
+// workload (arrival process and message-length distribution), offered load
+// and replication seeds — into a deterministic list of Jobs, executes them
+// on a bounded worker pool, and streams the results to CSV/JSONL sinks in
+// expansion order.
 //
 // The paper's evaluation (Figures 3–4, the ablations, the heterogeneity
 // extensions) is exactly such a grid, and the experiments package builds its
@@ -97,6 +98,12 @@ type Spec struct {
 	// workload.ParseSize); the message-geometry axis supplies the base M.
 	// Default: ["fixed"], the paper's assumption 3.
 	Sizes []string `json:"sizes,omitempty"`
+	// Links is the link-heterogeneity axis: per-tier technology overrides in
+	// units.ParseTiers syntax, e.g. "icn2=0.04/0.02/0.004+conc=0.03/0.015/0.004".
+	// "" (or "uniform") is the homogeneous technology of Tech/units.Default.
+	// Default: ["uniform"]. Per-cluster ICN1/ECN1 heterogeneity rides in the
+	// organization axis instead ("m=4:2x2@ecn1=.../...,2x3").
+	Links []string `json:"links,omitempty"`
 	// Loads is the offered-traffic axis.
 	Loads Loads `json:"loads"`
 	// Warmup, Measure and Drain are the simulation phase message counts
@@ -137,6 +144,9 @@ func (s Spec) Normalized() Spec {
 	}
 	if len(s.Sizes) == 0 {
 		s.Sizes = []string{workload.Fixed{}.Name()}
+	}
+	if len(s.Links) == 0 {
+		s.Links = []string{"uniform"}
 	}
 	if s.Loads.MaxFraction == 0 {
 		s.Loads.MaxFraction = 1.0
@@ -198,6 +208,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 		}
 	}
+	for _, l := range s.Links {
+		if _, err := units.ParseTiers(l); err != nil {
+			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
+		}
+	}
 	if len(s.Loads.Lambdas) == 0 && s.Loads.Points <= 0 {
 		return fmt.Errorf("sweep: spec %q: loads need either lambdas or points", s.Name)
 	}
@@ -218,10 +233,26 @@ func (s Spec) Validate() error {
 	if _, err := ModelOptions(s.Model); err != nil {
 		return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 	}
-	if err := s.params(s.Messages[0]).Validate(); err != nil {
+	par, err := s.params(s.Messages[0], "")
+	if err != nil {
+		return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
+	}
+	if err := par.Validate(); err != nil {
 		return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 	}
 	return nil
+}
+
+// HasLinkAxis reports whether the spec sweeps link technology beyond the
+// homogeneous default; sinks use it to decide whether the links column
+// carries information.
+func (s Spec) HasLinkAxis() bool {
+	for _, spec := range s.Links {
+		if t, err := units.ParseTiers(spec); err == nil && !t.Homogeneous() {
+			return true
+		}
+	}
+	return false
 }
 
 // HasWorkloadAxes reports whether the spec sweeps beyond the paper's default
@@ -241,13 +272,19 @@ func (s Spec) HasWorkloadAxes() bool {
 	return false
 }
 
-// params resolves the technology parameters for one message geometry.
-func (s Spec) params(m MessageGeometry) units.Params {
+// params resolves the technology parameters for one message geometry and one
+// link-heterogeneity axis value (the canonical tier spec, "" = homogeneous).
+func (s Spec) params(m MessageGeometry, links string) (units.Params, error) {
 	par := units.Default()
 	if s.Tech != nil {
 		par.AlphaNet, par.AlphaSw, par.BetaNet = s.Tech.AlphaNet, s.Tech.AlphaSw, s.Tech.BetaNet
 	}
-	return par.WithMessage(m.Flits, m.FlitBytes)
+	tiers, err := units.ParseTiers(links)
+	if err != nil {
+		return par, err
+	}
+	par.Tiers = tiers
+	return par.WithMessage(m.Flits, m.FlitBytes), nil
 }
 
 // ParsePattern resolves a traffic-pattern spec string to a factory over the

@@ -16,6 +16,7 @@ func (j Job) TraceHeader() workload.Header {
 	return workload.Header{
 		Org: j.Org, Flits: j.Flits, FlitBytes: j.FlitBytes,
 		AlphaNet: j.AlphaNet, AlphaSw: j.AlphaSw, BetaNet: j.BetaNet,
+		Links:   j.Links,
 		Lambda:  j.Lambda,
 		Arrival: j.Arrival, Size: j.SizeDist, Pattern: j.Pattern, Routing: j.Routing,
 		Seed:   j.SimSeed,
@@ -47,6 +48,9 @@ func ReplayConfig(tr *workload.Trace) (mcsim.Config, error) {
 	}
 	if h.Flits > 0 && h.FlitBytes > 0 {
 		par = par.WithMessage(h.Flits, h.FlitBytes)
+	}
+	if par.Tiers, err = units.ParseTiers(h.Links); err != nil {
+		return mcsim.Config{}, fmt.Errorf("sweep: trace header: %v", err)
 	}
 	return mcsim.Config{
 		Org: org, Par: par, LambdaG: h.Lambda,

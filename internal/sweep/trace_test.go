@@ -6,7 +6,6 @@ import (
 
 	"mcnet/internal/mcsim"
 	"mcnet/internal/system"
-	"mcnet/internal/units"
 	"mcnet/internal/workload"
 )
 
@@ -21,6 +20,7 @@ func TestTraceHeaderReplayRoundTrip(t *testing.T) {
 		Arrivals: []string{"mmpp:8:16"},
 		Sizes:    []string{"bimodal:8:128:0.2"},
 		Routing:  []string{"random-up"},
+		Links:    []string{"icn2=0.04/0.02/0.004"},
 		Loads:    Loads{Lambdas: []float64{2e-4}},
 		Warmup:   50, Measure: 400, Drain: 50,
 		Model: "none",
@@ -32,6 +32,9 @@ func TestTraceHeaderReplayRoundTrip(t *testing.T) {
 	j := jobs[0]
 	if j.Arrival != "mmpp:8:16" || j.SizeDist != "bimodal:8:128:0.2" {
 		t.Fatalf("job workload fields = %q/%q, want canonical axis values", j.Arrival, j.SizeDist)
+	}
+	if j.Links != "icn2=0.04/0.02/0.004" {
+		t.Fatalf("job links = %q, want the canonical axis value", j.Links)
 	}
 
 	// Assemble the job's config the way Execute does, plus a recorder.
@@ -56,8 +59,15 @@ func TestTraceHeaderReplayRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	par, err := j.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Tiers.Homogeneous() {
+		t.Fatal("job params lost the tier overrides")
+	}
 	cfg := mcsim.Config{
-		Org: org, Par: units.Default().WithMessage(j.Flits, j.FlitBytes),
+		Org: org, Par: par,
 		LambdaG: j.Lambda, Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
 		Seed: j.SimSeed, RoutingMode: mode, Arrival: arrival, Sizes: sizes,
 		Record: func(e workload.Event) {

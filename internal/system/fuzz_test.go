@@ -2,6 +2,8 @@ package system
 
 import (
 	"testing"
+
+	"mcnet/internal/units"
 )
 
 // FuzzParseOrganizationRoundTrip checks the canonicalization contract of the
@@ -28,6 +30,13 @@ func FuzzParseOrganizationRoundTrip(f *testing.F) {
 		"m=8:1x1@",
 		"m=8:-3x2@-1.5",
 		"m=9999999999999999999:1x1",
+		"m=4:2x1@icn1=0.01/0.005/0.001",
+		"m=4:2x1@2@icn1=0.01/0.005/0.001@ecn1=0.04/0.02/0.004,2x2",
+		"m=4:2x1@ecn1=0.04/0.02/0.004@2",
+		"m=4:2x1@icn1=NaN/0/1",
+		"m=4:2x1@icn2=0.1/0.1/0.1",
+		"m=4:2x1@NaN",
+		"m=4:2x1@icn1=0.1/0.1/0.1@icn1=0.1/0.1/0.1",
 	} {
 		f.Add(seed)
 	}
@@ -60,6 +69,18 @@ func FuzzParseOrganizationRoundTrip(f *testing.F) {
 			}
 			if a.Count != b.Count || a.Levels != b.Levels || ra != rb {
 				t.Fatalf("round trip changed group %d: %+v vs %+v", i, a, b)
+			}
+			// Link classes must survive the round trip exactly (nil stays
+			// nil, values stay bit-identical: Format uses shortest-exact
+			// float rendering).
+			sameClass := func(x, y *units.LinkClass) bool {
+				if (x == nil) != (y == nil) {
+					return false
+				}
+				return x == nil || *x == *y
+			}
+			if !sameClass(a.ICN1, b.ICN1) || !sameClass(a.ECN1, b.ECN1) {
+				t.Fatalf("round trip changed group %d link classes: %+v vs %+v", i, a, b)
 			}
 		}
 		// If the original materializes, the canonical form must materialize

@@ -2,22 +2,31 @@ package system
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+
+	"mcnet/internal/units"
 )
 
 // ParseOrganization parses the compact command-line syntax for system
 // organizations:
 //
-//	m=<ports>:<count>x<levels>[@<rate>][,<count>x<levels>[@<rate>]...]
+//	m=<ports>:<group>[,<group>...]
+//	group = <count>x<levels>[@<rate>][@icn1=<class>][@ecn1=<class>]
+//	class = <alpha_net>/<alpha_sw>/<beta_net>     (units.ParseLinkClass)
 //
 // For example the paper's first Table 1 organization is
 //
 //	m=8:12x1,16x2,4x3
 //
-// and a rate-heterogeneous variant of the second could be
+// a rate-heterogeneous variant of the second could be
 //
 //	m=4:8x3@2,3x4,5x5
+//
+// and a link-heterogeneous group whose clusters run a slower access fabric is
+//
+//	m=4:2x2@ecn1=0.04/0.02/0.004,2x3
 //
 // The named shortcuts "org1" and "org2" resolve to the Table 1
 // organizations.
@@ -48,12 +57,40 @@ func ParseOrganization(spec string) (Organization, error) {
 			continue
 		}
 		var rate float64
-		if body, rateStr, ok := strings.Cut(part, "@"); ok {
-			rate, err = strconv.ParseFloat(rateStr, 64)
-			if err != nil {
-				return org, fmt.Errorf("system: spec %q: bad rate factor %q: %v", spec, rateStr, err)
+		var icn1, ecn1 *units.LinkClass
+		suffixes := strings.Split(part, "@")
+		part = suffixes[0]
+		sawRate := false
+		for _, suf := range suffixes[1:] {
+			if name, classSpec, isClass := strings.Cut(suf, "="); isClass {
+				c, cerr := units.ParseLinkClass(classSpec)
+				if cerr != nil {
+					return org, fmt.Errorf("system: spec %q: %v", spec, cerr)
+				}
+				switch name {
+				case "icn1":
+					if icn1 != nil {
+						return org, fmt.Errorf("system: spec %q: icn1 class given twice", spec)
+					}
+					icn1 = &c
+				case "ecn1":
+					if ecn1 != nil {
+						return org, fmt.Errorf("system: spec %q: ecn1 class given twice", spec)
+					}
+					ecn1 = &c
+				default:
+					return org, fmt.Errorf("system: spec %q: unknown cluster network %q (icn1, ecn1)", spec, name)
+				}
+				continue
 			}
-			part = body
+			if sawRate {
+				return org, fmt.Errorf("system: spec %q: rate factor given twice", spec)
+			}
+			rate, err = strconv.ParseFloat(suf, 64)
+			if err != nil || rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+				return org, fmt.Errorf("system: spec %q: rate factor %q must be a finite number >= 0", spec, suf)
+			}
+			sawRate = true
 		}
 		countStr, levelsStr, ok := strings.Cut(part, "x")
 		if !ok {
@@ -67,7 +104,10 @@ func ParseOrganization(spec string) (Organization, error) {
 		if err != nil {
 			return org, fmt.Errorf("system: spec %q: bad levels %q: %v", spec, levelsStr, err)
 		}
-		org.Specs = append(org.Specs, ClusterSpec{Count: count, Levels: levels, RateFactor: rate})
+		org.Specs = append(org.Specs, ClusterSpec{
+			Count: count, Levels: levels, RateFactor: rate,
+			ICN1: icn1, ECN1: ecn1,
+		})
 	}
 	if len(org.Specs) == 0 {
 		return org, fmt.Errorf("system: spec %q: no cluster groups", spec)
@@ -78,7 +118,9 @@ func ParseOrganization(spec string) (Organization, error) {
 // Format renders an organization in the canonical ParseOrganization syntax,
 // so that ParseOrganization(Format(org)) materializes an identical system.
 // The organization's display name is not representable and is dropped; rate
-// factors of 0 and 1 (both meaning "nominal rate") are omitted.
+// factors of 0 and 1 (both meaning "nominal rate") are omitted, as are nil
+// link classes (meaning "tier default"). Suffixes render in the fixed order
+// rate, icn1, ecn1.
 func Format(org Organization) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "m=%d:", org.Ports)
@@ -89,6 +131,12 @@ func Format(org Organization) string {
 		fmt.Fprintf(&b, "%dx%d", spec.Count, spec.Levels)
 		if spec.RateFactor != 0 && spec.RateFactor != 1 {
 			fmt.Fprintf(&b, "@%g", spec.RateFactor)
+		}
+		if spec.ICN1 != nil {
+			fmt.Fprintf(&b, "@icn1=%s", spec.ICN1)
+		}
+		if spec.ECN1 != nil {
+			fmt.Fprintf(&b, "@ecn1=%s", spec.ECN1)
 		}
 	}
 	return b.String()

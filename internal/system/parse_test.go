@@ -3,6 +3,8 @@ package system
 import (
 	"reflect"
 	"testing"
+
+	"mcnet/internal/units"
 )
 
 func TestParseOrganizationShortcuts(t *testing.T) {
@@ -92,9 +94,61 @@ func TestParseOrganizationErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "m=8", "8:2x1", "m=x:2x1", "m=8:", "m=8:2y1", "m=8:ax1",
 		"m=8:2xb", "m=8:2x1@z",
+		// Rate factors must be finite and unique.
+		"m=8:2x1@NaN", "m=8:2x1@Inf", "m=8:2x1@-1", "m=8:2x1@2@3",
+		// Link classes must name a cluster network and satisfy
+		// units.ParseLinkClass.
+		"m=8:2x1@icn2=0.1/0.1/0.1", "m=8:2x1@icn1=0.1/0.1",
+		"m=8:2x1@icn1=NaN/0.1/0.1", "m=8:2x1@ecn1=0.1/0.1/0",
+		"m=8:2x1@icn1=0.1/0.1/0.1@icn1=0.1/0.1/0.1",
 	} {
 		if _, err := ParseOrganization(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+func TestParseOrganizationLinkClasses(t *testing.T) {
+	got, err := ParseOrganization("m=4:2x1@2@icn1=0.01/0.005/0.001@ecn1=0.04/0.02/0.004,2x2@ecn1=0.08/0.04/0.008")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := got.Specs[0], got.Specs[1]
+	if s0.RateFactor != 2 {
+		t.Errorf("rate factor = %v, want 2", s0.RateFactor)
+	}
+	if s0.ICN1 == nil || *s0.ICN1 != (units.LinkClass{AlphaNet: 0.01, AlphaSw: 0.005, BetaNet: 0.001}) {
+		t.Errorf("icn1 class = %+v", s0.ICN1)
+	}
+	if s0.ECN1 == nil || *s0.ECN1 != (units.LinkClass{AlphaNet: 0.04, AlphaSw: 0.02, BetaNet: 0.004}) {
+		t.Errorf("ecn1 class = %+v", s0.ECN1)
+	}
+	if s1.ICN1 != nil || s1.ECN1 == nil || s1.RateFactor != 0 {
+		t.Errorf("second group = %+v", s1)
+	}
+
+	// Format renders the canonical order (rate, icn1, ecn1) and the round
+	// trip preserves the classes; the materialized system sees them.
+	canonical := Format(got)
+	want := "m=4:2x1@2@icn1=0.01/0.005/0.001@ecn1=0.04/0.02/0.004,2x2@ecn1=0.08/0.04/0.008"
+	if canonical != want {
+		t.Errorf("Format = %q, want %q", canonical, want)
+	}
+	back, err := ParseOrganization(canonical)
+	if err != nil {
+		t.Fatalf("canonical %q does not reparse: %v", canonical, err)
+	}
+	if !reflect.DeepEqual(back.Specs, got.Specs) {
+		t.Errorf("round trip changed specs: %+v vs %+v", back.Specs, got.Specs)
+	}
+	sys := MustNew(back)
+	if !sys.LinkHeterogeneous() {
+		t.Error("materialized system does not report link heterogeneity")
+	}
+	if sys.Clusters[0].ECN1 == nil || sys.Clusters[0].ECN1.AlphaNet != 0.04 {
+		t.Errorf("cluster 0 ECN1 class = %+v", sys.Clusters[0].ECN1)
+	}
+	if plain := MustNew(Table1Org1()); plain.LinkHeterogeneous() {
+		t.Error("homogeneous organization reports link heterogeneity")
 	}
 }

@@ -12,9 +12,11 @@ package system
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"mcnet/internal/tree"
+	"mcnet/internal/units"
 )
 
 // ClusterSpec describes a group of identically shaped clusters.
@@ -29,6 +31,13 @@ type ClusterSpec struct {
 	// processing-power heterogeneity, an extension beyond the paper's
 	// assumption 3 (see DESIGN.md, Extension 2).
 	RateFactor float64
+	// ICN1 and ECN1 optionally override the link technology of these
+	// clusters' intra- and access networks (nil = the tier default of
+	// units.Params). This is the per-cluster face of link-technology
+	// heterogeneity: clusters built from different fabric generations keep
+	// their own α_net, α_sw and β_net (see DESIGN.md, link heterogeneity).
+	ICN1 *units.LinkClass
+	ECN1 *units.LinkClass
 }
 
 // Organization is the user-facing description of a multi-cluster system.
@@ -48,6 +57,10 @@ type Cluster struct {
 	// Shape is the m-port n_i-tree geometry shared by the cluster's ICN1
 	// and ECN1 (the simulator instantiates separate channel state for each).
 	Shape *tree.Tree
+	// ICN1 and ECN1 carry the spec's per-cluster link-class overrides
+	// (nil = tier default).
+	ICN1 *units.LinkClass
+	ECN1 *units.LinkClass
 }
 
 // System is a validated, materialized organization.
@@ -80,8 +93,16 @@ func New(org Organization) (*System, error) {
 		if spec.Count <= 0 {
 			return nil, fmt.Errorf("%w: spec count %d", ErrBadOrganization, spec.Count)
 		}
-		if spec.RateFactor < 0 {
-			return nil, fmt.Errorf("%w: negative rate factor %v", ErrBadOrganization, spec.RateFactor)
+		if spec.RateFactor < 0 || math.IsNaN(spec.RateFactor) || math.IsInf(spec.RateFactor, 1) {
+			return nil, fmt.Errorf("%w: rate factor %v must be finite and >= 0", ErrBadOrganization, spec.RateFactor)
+		}
+		for _, lc := range []*units.LinkClass{spec.ICN1, spec.ECN1} {
+			if lc == nil {
+				continue
+			}
+			if err := lc.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadOrganization, err)
+			}
 		}
 		shape := shapes[spec.Levels]
 		if shape == nil {
@@ -104,6 +125,8 @@ func New(org Organization) (*System, error) {
 				NodeBase:   s.totalNodes,
 				RateFactor: rate,
 				Shape:      shape,
+				ICN1:       spec.ICN1,
+				ECN1:       spec.ECN1,
 			})
 			s.totalNodes += shape.Nodes()
 		}
@@ -206,6 +229,18 @@ func (s *System) MeanRateFactor() float64 {
 		sum += s.Clusters[i].RateFactor * float64(s.Clusters[i].Nodes)
 	}
 	return sum / float64(s.totalNodes)
+}
+
+// LinkHeterogeneous reports whether any cluster overrides its networks' link
+// technology. (System-wide tier overrides live in units.Params and are not
+// visible here.)
+func (s *System) LinkHeterogeneous() bool {
+	for i := range s.Clusters {
+		if s.Clusters[i].ICN1 != nil || s.Clusters[i].ECN1 != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Table1Org1 returns the first organization of the paper's Table 1:

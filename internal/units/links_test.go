@@ -1,0 +1,153 @@
+package units
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinkClassDerivedTimesMatchBase(t *testing.T) {
+	p := Default()
+	c := p.Base()
+	if c.Tcn(p.FlitBytes) != p.Tcn() {
+		t.Errorf("LinkClass.Tcn = %v, Params.Tcn = %v", c.Tcn(p.FlitBytes), p.Tcn())
+	}
+	if c.Tcs(p.FlitBytes) != p.Tcs() {
+		t.Errorf("LinkClass.Tcs = %v, Params.Tcs = %v", c.Tcs(p.FlitBytes), p.Tcs())
+	}
+}
+
+func TestTierClassResolution(t *testing.T) {
+	p := Default()
+	if !p.Tiers.Homogeneous() {
+		t.Fatal("default Tiers not homogeneous")
+	}
+	base := p.Base()
+	for name, got := range map[string]LinkClass{
+		"ICN1": p.ICN1Class(), "ECN1": p.ECN1Class(), "ICN2": p.ICN2Class(), "Conc": p.ConcClass(),
+	} {
+		if got != base {
+			t.Errorf("homogeneous %sClass = %+v, want base %+v", name, got, base)
+		}
+	}
+	slow := LinkClass{AlphaNet: 0.1, AlphaSw: 0.05, BetaNet: 0.01}
+	p.Tiers.ICN2 = &slow
+	if p.Tiers.Homogeneous() {
+		t.Error("Tiers with an ICN2 override reported homogeneous")
+	}
+	if p.ICN2Class() != slow {
+		t.Errorf("ICN2Class = %+v, want the override", p.ICN2Class())
+	}
+	if p.ICN1Class() != base || p.ECN1Class() != base || p.ConcClass() != base {
+		t.Error("unrelated tiers affected by the ICN2 override")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate with a good override: %v", err)
+	}
+	p.Tiers.Conc = &LinkClass{AlphaNet: 0.1, AlphaSw: 0.05, BetaNet: -1}
+	if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("Validate with a bad Conc override = %v, want ErrInvalidParams", err)
+	}
+}
+
+func TestParseLinkClass(t *testing.T) {
+	c, err := ParseLinkClass("0.04/0.02/0.004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (LinkClass{AlphaNet: 0.04, AlphaSw: 0.02, BetaNet: 0.004}) {
+		t.Fatalf("parsed %+v", c)
+	}
+	// Zero latencies are valid (ideal links); zero bandwidth is not.
+	if _, err := ParseLinkClass("0/0/0.002"); err != nil {
+		t.Errorf("zero latencies rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"", "0.04", "0.04/0.02", "0.04/0.02/0.004/1", "a/b/c",
+		"-0.04/0.02/0.004", "0.04/-0.02/0.004", "0.04/0.02/0",
+		"0.04/0.02/-0.004", "NaN/0.02/0.004", "0.04/Inf/0.004",
+		"0.04/0.02/NaN", "0.04/0.02/+Inf",
+	} {
+		if _, err := ParseLinkClass(bad); err == nil {
+			t.Errorf("ParseLinkClass(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTiersRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"icn2=0.04/0.02/0.004",
+		"icn1=0.01/0.005/0.001+ecn1=0.02/0.01/0.002+icn2=0.04/0.02/0.004+conc=0.03/0.015/0.004",
+		"conc=0/0/0.5",
+	} {
+		tp, err := ParseTiers(spec)
+		if err != nil {
+			t.Fatalf("ParseTiers(%q): %v", spec, err)
+		}
+		canonical := tp.String()
+		tp2, err := ParseTiers(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q does not reparse: %v", canonical, err)
+		}
+		if tp2.String() != canonical {
+			t.Fatalf("canonical form unstable: %q → %q", canonical, tp2.String())
+		}
+	}
+	if tp, err := ParseTiers("uniform"); err != nil || !tp.Homogeneous() {
+		t.Errorf(`ParseTiers("uniform") = %+v, %v; want homogeneous`, tp, err)
+	}
+	// Out-of-order specs canonicalize to the fixed tier order.
+	tp, err := ParseTiers("conc=0.03/0.015/0.004+icn1=0.01/0.005/0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.String(); got != "icn1=0.01/0.005/0.001+conc=0.03/0.015/0.004" {
+		t.Errorf("canonical order = %q", got)
+	}
+	for _, bad := range []string{
+		"icn3=0.04/0.02/0.004",
+		"icn2=0.04/0.02",
+		"icn2",
+		"icn2=0.04/0.02/0.004+icn2=0.04/0.02/0.004",
+		"=0.04/0.02/0.004",
+	} {
+		if _, err := ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestValidateZeroLatencyIsValid pins the documented contract: zero latencies
+// pass validation (only ratios matter for the latency-curve shapes), while
+// negative and non-finite values are rejected.
+func TestValidateZeroLatencyIsValid(t *testing.T) {
+	p := Default()
+	p.AlphaNet, p.AlphaSw = 0, 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero latencies rejected: %v", err)
+	}
+	for name, bad := range map[string]Params{
+		"negative AlphaNet": {AlphaNet: -0.01, AlphaSw: 0.01, BetaNet: 0.002, FlitBytes: 256, MessageFlits: 32},
+		"NaN AlphaNet":      {AlphaNet: math.NaN(), AlphaSw: 0.01, BetaNet: 0.002, FlitBytes: 256, MessageFlits: 32},
+		"Inf AlphaSw":       {AlphaNet: 0.02, AlphaSw: math.Inf(1), BetaNet: 0.002, FlitBytes: 256, MessageFlits: 32},
+		"NaN BetaNet":       {AlphaNet: 0.02, AlphaSw: 0.01, BetaNet: math.NaN(), FlitBytes: 256, MessageFlits: 32},
+		"zero BetaNet":      {AlphaNet: 0.02, AlphaSw: 0.01, BetaNet: 0, FlitBytes: 256, MessageFlits: 32},
+	} {
+		if err := bad.Validate(); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%s: Validate = %v, want ErrInvalidParams", name, err)
+		}
+	}
+}
+
+func TestStringMentionsTiers(t *testing.T) {
+	p := Default()
+	if s := p.String(); strings.Contains(s, "tiers[") {
+		t.Errorf("homogeneous String mentions tiers: %q", s)
+	}
+	p.Tiers.ICN2 = &LinkClass{AlphaNet: 0.04, AlphaSw: 0.02, BetaNet: 0.004}
+	if s := p.String(); !strings.Contains(s, "icn2=0.04/0.02/0.004") {
+		t.Errorf("String does not render the override: %q", s)
+	}
+}

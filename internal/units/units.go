@@ -39,6 +39,11 @@ type Params struct {
 	FlitBytes int
 	// MessageFlits is M, the fixed message length in flits (paper: 32 or 64).
 	MessageFlits int
+	// Tiers optionally overrides the link technology per network tier
+	// (cluster ICN1/ECN1, global ICN2, concentrator/dispatcher links). The
+	// zero value keeps the single global vector above for every tier, which
+	// reproduces the paper's homogeneous-technology model exactly.
+	Tiers TierParams
 }
 
 // Default returns the baseline parameter set used throughout the paper's
@@ -89,28 +94,38 @@ func (p Params) MTcs() float64 {
 }
 
 // ErrInvalidParams reports a parameter set that cannot describe a physical
-// network (non-positive latencies, bandwidth or message geometry).
+// network (negative or non-finite latencies, non-positive bandwidth or
+// message geometry).
 var ErrInvalidParams = errors.New("units: invalid parameters")
 
-// Validate checks that every parameter is physically meaningful.
+// Validate checks that every parameter is physically meaningful: latencies
+// must be finite and non-negative (a zero latency is a valid idealization —
+// only the ratios of the time parameters shape the latency curves), the byte
+// time β_net positive and finite, and the message geometry positive. Any
+// configured tier override must satisfy the same constraints.
 func (p Params) Validate() error {
 	switch {
-	case p.AlphaNet < 0:
-		return fmt.Errorf("%w: AlphaNet %v < 0", ErrInvalidParams, p.AlphaNet)
-	case p.AlphaSw < 0:
-		return fmt.Errorf("%w: AlphaSw %v < 0", ErrInvalidParams, p.AlphaSw)
-	case p.BetaNet <= 0:
-		return fmt.Errorf("%w: BetaNet %v <= 0", ErrInvalidParams, p.BetaNet)
+	case !isFiniteNonNeg(p.AlphaNet):
+		return fmt.Errorf("%w: AlphaNet %v must be finite and >= 0", ErrInvalidParams, p.AlphaNet)
+	case !isFiniteNonNeg(p.AlphaSw):
+		return fmt.Errorf("%w: AlphaSw %v must be finite and >= 0", ErrInvalidParams, p.AlphaSw)
+	case !isFiniteNonNeg(p.BetaNet) || p.BetaNet == 0:
+		return fmt.Errorf("%w: BetaNet %v must be finite and > 0", ErrInvalidParams, p.BetaNet)
 	case p.FlitBytes <= 0:
 		return fmt.Errorf("%w: FlitBytes %d <= 0", ErrInvalidParams, p.FlitBytes)
 	case p.MessageFlits <= 0:
 		return fmt.Errorf("%w: MessageFlits %d <= 0", ErrInvalidParams, p.MessageFlits)
 	}
-	return nil
+	return p.Tiers.Validate()
 }
 
-// String renders the parameters in the notation of the paper.
+// String renders the parameters in the notation of the paper; configured
+// tier overrides are appended in ParseTiers syntax.
 func (p Params) String() string {
-	return fmt.Sprintf("α_net=%g α_sw=%g β_net=%g L_m=%dB M=%d flits",
+	s := fmt.Sprintf("α_net=%g α_sw=%g β_net=%g L_m=%dB M=%d flits",
 		p.AlphaNet, p.AlphaSw, p.BetaNet, p.FlitBytes, p.MessageFlits)
+	if !p.Tiers.Homogeneous() {
+		s += " tiers[" + p.Tiers.String() + "]"
+	}
+	return s
 }

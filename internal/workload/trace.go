@@ -24,6 +24,11 @@ type Header struct {
 	AlphaNet float64 `json:"alpha_net,omitempty"`
 	AlphaSw  float64 `json:"alpha_sw,omitempty"`
 	BetaNet  float64 `json:"beta_net,omitempty"`
+	// Links is the canonical per-tier link technology spec the trace was
+	// recorded under (units.ParseTiers syntax; empty = homogeneous). The
+	// generation stream itself is link-independent, but replaying under the
+	// recorded tiers reproduces the original latencies bit for bit.
+	Links string `json:"links,omitempty"`
 	// Lambda is the mean per-node generation rate the trace was recorded at.
 	Lambda float64 `json:"lambda"`
 	// Arrival, Size, Pattern and Routing are the canonical workload spec

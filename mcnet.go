@@ -18,6 +18,11 @@ type (
 	// Params holds the technology parameters (latencies, bandwidth) and the
 	// message geometry (M flits of L_m bytes).
 	Params = units.Params
+	// LinkClass is one link technology (α_net, α_sw, β_net); TierParams
+	// assigns classes per network tier (cluster ICN1/ECN1, global ICN2,
+	// concentrator links) for link-technology heterogeneity.
+	LinkClass  = units.LinkClass
+	TierParams = units.TierParams
 	// Model is the paper's analytical latency model.
 	Model = analytic.Model
 	// ModelOptions selects between interpretations of the paper's
@@ -42,8 +47,14 @@ var (
 	// UniformOrg builds a homogeneous organization (the baseline of the
 	// heterogeneity-study example).
 	UniformOrg = system.Uniform
-	// ParseOrganization parses "m=8:12x1,16x2,4x3"-style specs.
+	// ParseOrganization parses "m=8:12x1,16x2,4x3"-style specs (cluster
+	// groups may carry @icn1=/@ecn1= link-class suffixes).
 	ParseOrganization = system.ParseOrganization
+	// ParseLinkClass parses "<α_net>/<α_sw>/<β_net>" link-class specs;
+	// ParseTiers parses "+"-joined per-tier assignments like
+	// "icn2=0.04/0.02/0.004+conc=0.03/0.015/0.004".
+	ParseLinkClass = units.ParseLinkClass
+	ParseTiers     = units.ParseTiers
 	// NewSystem materializes and validates an organization.
 	NewSystem = system.New
 	// DefaultParams returns the paper's §4 parameter set
