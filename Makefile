@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH_$(REV).json
 # Per-fuzzer exploration budget of the fuzz smoke.
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet fmt-check staticcheck lint fuzz bench bench-all bench-gate cover ci clean
+.PHONY: all build test race vet fmt-check staticcheck lint fuzz bench bench-all bench-gate cover serve smoke ci clean
 
 all: build test
 
@@ -82,10 +82,40 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
+# serve runs the capacity-planning daemon locally (see cmd/mcserved -h for
+# the knobs; ADDR overrides the listen address).
+ADDR ?= 127.0.0.1:8080
+serve:
+	$(GO) run ./cmd/mcserved -addr $(ADDR)
+
+# smoke boots mcserved on an ephemeral port, curls /healthz and /v1/analyze
+# and fails on any non-200. CI runs this as the serve-smoke job; locally it
+# needs curl on PATH.
+smoke:
+	@command -v curl >/dev/null 2>&1 || { echo "smoke: curl not installed; skipping (CI runs it)"; exit 0; }; \
+	set -e; \
+	tmp="$$(mktemp -d)"; \
+	$(GO) build -o "$$tmp/mcserved" ./cmd/mcserved; \
+	"$$tmp/mcserved" -addr 127.0.0.1:0 >"$$tmp/out" 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	url=""; i=0; while [ $$i -lt 100 ]; do \
+		url="$$(sed -n 's/^mcserved: listening on //p' "$$tmp/out")"; \
+		[ -n "$$url" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "smoke: server exited early:"; cat "$$tmp/out"; exit 1; }; \
+		i=$$((i+1)); sleep 0.1; \
+	done; \
+	[ -n "$$url" ] || { echo "smoke: server never came up:"; cat "$$tmp/out"; exit 1; }; \
+	echo "smoke: $$url"; \
+	curl -fsS "$$url/healthz"; \
+	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
+	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
+	curl -fsS "$$url/metrics" >/dev/null; \
+	echo "smoke: ok"
+
 # ci mirrors .github/workflows/ci.yml so local runs reproduce the pipeline:
-# lint job (fmt-check, vet, staticcheck), test job (build, test, race, fuzz)
-# and the bench-gate job.
-ci: lint build test race fuzz bench-gate
+# lint job (fmt-check, vet, staticcheck), test job (build, test, race, fuzz),
+# the bench-gate job and the serve-smoke job.
+ci: lint build test race fuzz bench-gate smoke
 
 clean:
 	$(GO) clean ./...

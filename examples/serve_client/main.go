@@ -1,0 +1,190 @@
+// Serve client: capacity planning over HTTP. By default the program boots
+// an in-process mcnet.Service on an ephemeral port — so it is runnable with
+// zero setup — and then talks to it exactly like a remote client would:
+//
+//   - POST /v1/analyze twice, showing the second answer arriving
+//     byte-identically from the response cache (X-Cache: hit),
+//   - POST /v1/simulate, polling GET /v1/jobs/{id} until the job is done,
+//   - POST /v1/sweep, streaming NDJSON result rows as jobs complete,
+//   - GET /metrics, summarizing what the session cost the server.
+//
+// Point it at a real daemon instead with:
+//
+//	go run ./cmd/mcserved &
+//	go run ./examples/serve_client -addr http://127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"mcnet"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running mcserved (default: boot an in-process service)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		svc, err := mcnet.NewService(mcnet.ServiceConfig{Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, svc.Handler())
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process service at %s\n\n", base)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// 1. The model fast path, twice: the second answer is a cache hit and
+	// byte-identical to the first.
+	analyze := `{"org":"org2","lambda":0.0005}`
+	fmt.Println("POST /v1/analyze", analyze)
+	for i := 0; i < 2; i++ {
+		resp, err := client.Post(base+"/v1/analyze", "application/json", strings.NewReader(analyze))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var doc struct {
+			Latency         *float64 `json:"latency"`
+			SaturationPoint *float64 `json:"saturation_point"`
+		}
+		body := decode(resp, &doc)
+		fmt.Printf("  X-Cache=%-4s latency=%.2f units  (λ_sat=%.6f)  [%d bytes]\n",
+			resp.Header.Get("X-Cache"), *doc.Latency, *doc.SaturationPoint, len(body))
+	}
+
+	// 2. A simulation job: submit, then poll its content-derived id.
+	simulate := `{"org":"org2","lambda":0.0005,"warmup":1000,"measure":10000,"drain":1000}`
+	fmt.Println("\nPOST /v1/simulate", simulate)
+	resp, err := client.Post(base+"/v1/simulate", "application/json", strings.NewReader(simulate))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ref struct {
+		ID   string `json:"id"`
+		Href string `json:"href"`
+	}
+	decode(resp, &ref)
+	fmt.Printf("  job %s…\n", ref.ID[:12])
+	for {
+		resp, err := client.Get(base + ref.Href)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var job struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Result struct {
+				SimLatency *float64 `json:"sim_latency"`
+				Delivered  int      `json:"delivered"`
+			} `json:"result"`
+		}
+		decode(resp, &job)
+		if job.Status == "failed" {
+			log.Fatalf("job failed: %s", job.Error)
+		}
+		if job.Status == "done" {
+			fmt.Printf("  done: simulated latency %.2f units over %d delivered messages\n",
+				*job.Result.SimLatency, job.Result.Delivered)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 3. A streamed sweep: a pattern × load grid arrives as NDJSON rows in
+	// job order, each row as soon as its job completes.
+	spec := mcnet.Sweep{
+		Name:     "served-locality",
+		Orgs:     []string{"org2"},
+		Patterns: []string{"uniform", "cluster-local:0.6"},
+		Loads:    mcnet.SweepLoads{Points: 3, MaxFraction: 0.6},
+		Warmup:   1000, Measure: 10000, Drain: 1000,
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPOST /v1/sweep  (2 patterns × 3 loads)")
+	resp, err = client.Post(base+"/v1/sweep", "application/json", strings.NewReader(string(specJSON)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	fmt.Printf("  %-18s %12s %12s %12s\n", "pattern", "λ_g", "model", "sim")
+	for sc.Scan() {
+		var row struct {
+			Job struct {
+				Pattern string  `json:"pattern"`
+				Lambda  float64 `json:"lambda"`
+			} `json:"job"`
+			Analysis   *float64 `json:"analysis"`
+			SimLatency *float64 `json:"sim_latency"`
+			Error      string   `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			log.Fatalf("bad NDJSON row %q: %v", sc.Text(), err)
+		}
+		if row.Error != "" {
+			log.Fatalf("sweep failed: %s", row.Error)
+		}
+		fmt.Printf("  %-18s %12.6f %12s %12s\n",
+			row.Job.Pattern, row.Job.Lambda, num(row.Analysis), num(row.SimLatency))
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. What did that cost the server?
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m struct {
+		Cache struct {
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		SimulationsExecuted int `json:"simulations_executed"`
+	}
+	decode(resp, &m)
+	fmt.Printf("\nGET /metrics: %d simulations executed, outcome-cache hit ratio %.2f\n",
+		m.SimulationsExecuted, m.Cache.HitRatio)
+}
+
+// decode drains one JSON response, failing loudly on errors.
+func decode(resp *http.Response, v any) []byte {
+	defer resp.Body.Close()
+	var buf strings.Builder
+	dec := json.NewDecoder(io.TeeReader(resp.Body, &buf))
+	if err := dec.Decode(v); err != nil {
+		log.Fatalf("HTTP %d: %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(buf.String()))
+	}
+	return []byte(buf.String())
+}
+
+// num renders an optional float64 ("null" for a saturated/undelivered
+// point).
+func num(v *float64) string {
+	if v == nil {
+		return "null"
+	}
+	return fmt.Sprintf("%.2f", *v)
+}

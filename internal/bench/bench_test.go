@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"bytes"
+	"net/http/httptest"
 	"testing"
 
 	"mcnet/internal/des"
 	"mcnet/internal/mcsim"
 	"mcnet/internal/rng"
+	"mcnet/internal/serve"
 	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
@@ -127,6 +130,40 @@ func BenchmarkMcsimBursty(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeAnalyze measures the serving layer's cached fast path:
+// requests/sec through the full handler stack (mux routing, instrumentation,
+// body decode, scenario canonicalization, response-cache lookup) for a
+// repeated POST /v1/analyze. The first request renders and caches the
+// response; every measured iteration must be answered from the cache. The
+// capacity-planning service is sized against a ≥10k req/s target here,
+// i.e. ≤100µs/op.
+func BenchmarkServeAnalyze(b *testing.B) {
+	srv, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	body := []byte(`{"org":"org1","lambda":0.0003}`)
+	post := func() int {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := post(); code != 200 {
+		b.Fatalf("warmup request: status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := post(); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkSweepFigure runs the builtin Figure 3 (M=32) grid — 20 jobs over

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"mcnet/internal/sweep"
+)
+
+// layeredCache implements sweep.Cache as an in-memory LRU over an optional
+// second layer (typically a *sweep.DirCache shared with mcsweep runs).
+// Memory hits avoid the disk entirely; disk hits are promoted into memory;
+// writes go to both layers. Hit/miss counters feed /metrics.
+type layeredCache struct {
+	mem  *lruCache
+	next sweep.Cache // optional
+
+	memHits  atomic.Int64
+	nextHits atomic.Int64
+	misses   atomic.Int64
+}
+
+func newLayeredCache(capacity int, next sweep.Cache) *layeredCache {
+	return &layeredCache{mem: newLRU(capacity), next: next}
+}
+
+// Get implements sweep.Cache.
+func (c *layeredCache) Get(key string) (sweep.Outcome, bool) {
+	if v, ok := c.mem.Get(key); ok {
+		c.memHits.Add(1)
+		return v.(sweep.Outcome), true
+	}
+	if c.next != nil {
+		if o, ok := c.next.Get(key); ok {
+			c.nextHits.Add(1)
+			c.mem.Put(key, o)
+			return o, true
+		}
+	}
+	c.misses.Add(1)
+	return sweep.Outcome{}, false
+}
+
+// Put implements sweep.Cache, writing through to the second layer.
+func (c *layeredCache) Put(key string, o sweep.Outcome) error {
+	c.mem.Put(key, o)
+	if c.next != nil {
+		return c.next.Put(key, o)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent calls by key: while one call for a key
+// is in flight, further callers wait for and share its result instead of
+// computing again (the classic singleflight shape, local so the module stays
+// dependency-free). Completed calls are forgotten immediately — lasting
+// memory is the cache's job.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do invokes fn once per key among concurrent callers. The boolean reports
+// whether the result was shared from another caller's in-flight computation.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Error("a evicted out of order")
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Put("c", 30) // refresh in place, no growth
+	if v, _ := c.Get("c"); v.(int) != 30 || c.Len() != 2 {
+		t.Error("in-place refresh failed")
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := newLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int32
+	enter := make(chan struct{}, 8)
+	release := make(chan struct{})
+	const waiters = 8
+	results := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			v, err, _ := g.Do("key", func() (any, error) {
+				calls.Add(1)
+				enter <- struct{}{}
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v.(int)
+		}()
+	}
+	<-enter // one computation is in flight; the rest must wait on it
+	// Give the remaining goroutines time to reach Do before releasing; a
+	// straggler arriving after completion would recompute and fail the
+	// calls==1 assertion below.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	for i := 0; i < waiters; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("waiter got %d", v)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn called %d times for concurrent same-key calls, want 1", n)
+	}
+	// The key is forgotten after completion: a later call computes afresh.
+	v, _, shared := g.Do("key", func() (any, error) { return 7, nil })
+	if v.(int) != 7 || shared {
+		t.Fatalf("post-completion call: v=%v shared=%v", v, shared)
+	}
+}

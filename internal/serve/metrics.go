@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"mcnet/internal/stats"
+	"mcnet/internal/sweep"
+)
+
+// latencySamples bounds the per-route reservoir the quantiles are computed
+// from: a ring of the most recent observations.
+const latencySamples = 2048
+
+// metrics aggregates per-route request statistics for GET /metrics.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count   int64
+	errors  int64 // responses with status >= 400
+	lat     stats.Running
+	samples []float64 // ring of recent latencies (ms)
+	next    int
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeStats)}
+}
+
+func (m *metrics) record(route string, code int, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if code >= 400 {
+		rs.errors++
+	}
+	rs.lat.Add(ms)
+	if len(rs.samples) < latencySamples {
+		rs.samples = append(rs.samples, ms)
+	} else {
+		rs.samples[rs.next%latencySamples] = ms
+	}
+	rs.next++
+}
+
+// latDoc carries latency aggregates in milliseconds. Quantiles are exact
+// over the most recent latencySamples observations.
+type latDoc struct {
+	Mean sweep.Float `json:"mean"`
+	P50  sweep.Float `json:"p50"`
+	P90  sweep.Float `json:"p90"`
+	P99  sweep.Float `json:"p99"`
+	Max  sweep.Float `json:"max"`
+}
+
+type routeDoc struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	Latency *latDoc `json:"latency_ms,omitempty"`
+}
+
+type cacheDoc struct {
+	// MemoryHits/DiskHits/Misses count outcome-cache lookups (simulate,
+	// compare and sweep jobs); HitRatio is hits over lookups, 0 before any.
+	MemoryHits int64   `json:"memory_hits"`
+	DiskHits   int64   `json:"disk_hits"`
+	Misses     int64   `json:"misses"`
+	HitRatio   float64 `json:"hit_ratio"`
+	// AnalyzeHits/AnalyzeMisses count the analyze fast path's rendered-
+	// response cache.
+	AnalyzeHits   int64 `json:"analyze_hits"`
+	AnalyzeMisses int64 `json:"analyze_misses"`
+}
+
+type queueDoc struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+}
+
+type metricsDoc struct {
+	Requests            map[string]routeDoc `json:"requests"`
+	Cache               cacheDoc            `json:"cache"`
+	Queue               queueDoc            `json:"queue"`
+	SimulationsExecuted int64               `json:"simulations_executed"`
+}
+
+func (m *metrics) snapshot() map[string]routeDoc {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]routeDoc, len(m.routes))
+	for route, rs := range m.routes {
+		doc := routeDoc{Count: rs.count, Errors: rs.errors}
+		if rs.count > 0 {
+			sample := append([]float64(nil), rs.samples...)
+			doc.Latency = &latDoc{
+				Mean: sweep.Float(rs.lat.Mean()),
+				P50:  sweep.Float(stats.Quantile(sample, 0.5)),
+				P90:  sweep.Float(stats.Quantile(sample, 0.9)),
+				P99:  sweep.Float(stats.Quantile(sample, 0.99)),
+				Max:  sweep.Float(rs.lat.Max()),
+			}
+		}
+		out[route] = doc
+	}
+	return out
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	memHits := s.cache.memHits.Load()
+	diskHits := s.cache.nextHits.Load()
+	misses := s.cache.misses.Load()
+	ratio := 0.0
+	if lookups := memHits + diskHits + misses; lookups > 0 {
+		ratio = float64(memHits+diskHits) / float64(lookups)
+	}
+	queued, running, done, failed, depth := s.store.statusCounts()
+	doc := metricsDoc{
+		Requests: s.metrics.snapshot(),
+		Cache: cacheDoc{
+			MemoryHits:    memHits,
+			DiskHits:      diskHits,
+			Misses:        misses,
+			HitRatio:      ratio,
+			AnalyzeHits:   s.respHits.Load(),
+			AnalyzeMisses: s.respMisses.Load(),
+		},
+		Queue: queueDoc{
+			Depth:    depth,
+			Capacity: s.cfg.QueueDepth,
+			Queued:   queued,
+			Running:  running,
+			Done:     done,
+			Failed:   failed,
+		},
+		SimulationsExecuted: s.executed.Load(),
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// statusWriter records the response status for instrumentation and forwards
+// Flush so streaming handlers keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request counting and latency measurement
+// under the given route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.record(route, sw.code, time.Since(start))
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcnet/internal/analytic"
+	"mcnet/internal/sweep"
+	"mcnet/internal/system"
+	"mcnet/internal/units"
+)
+
+// The helpers below are the request-canonicalization steps shared by the
+// analyze fast path and the simulate/compare job path. Both must agree, to
+// the byte, on which requests are valid and on the canonical identity of
+// equivalent spellings — cache keys hang off these renderings.
+
+// canonicalOrgSpec parses, materializes (so shape errors surface at request
+// time) and canonically re-renders an organization spec.
+func canonicalOrgSpec(spec string) (string, error) {
+	org, err := system.ParseOrganization(spec)
+	if err != nil {
+		return "", err
+	}
+	if _, err := system.New(org); err != nil {
+		return "", err
+	}
+	return system.Format(org), nil
+}
+
+// resolveGeometry fills the default message geometry (the paper's M=32,
+// L_m=256) for zero fields and rejects non-positive ones.
+func resolveGeometry(flits, flitBytes int) (int, int, error) {
+	d := units.Default()
+	if flits == 0 {
+		flits = d.MessageFlits
+	}
+	if flitBytes == 0 {
+		flitBytes = d.FlitBytes
+	}
+	if flits <= 0 || flitBytes <= 0 {
+		return 0, 0, fmt.Errorf("message geometry must be positive (flits=%d, flit_bytes=%d)", flits, flitBytes)
+	}
+	return flits, flitBytes, nil
+}
+
+// resolveTech applies the paper's §4 technology defaults under an optional
+// override.
+func resolveTech(override *sweep.Tech) sweep.Tech {
+	if override != nil {
+		return *override
+	}
+	d := units.Default()
+	return sweep.Tech{AlphaNet: d.AlphaNet, AlphaSw: d.AlphaSw, BetaNet: d.BetaNet}
+}
+
+// checkLambda rejects non-positive and non-finite offered loads.
+func checkLambda(lambda float64) error {
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("lambda must be positive and finite, got %v", lambda)
+	}
+	return nil
+}
+
+// modelLatency builds the analytic model for a canonical organization under
+// the named preset and evaluates the mean latency (Eq. 36) at lambda.
+// Saturation is an answer, not an error: it returns a NaN latency with
+// saturated set. The model is returned for callers that need more from it
+// (the saturation point).
+func modelLatency(model, org string, par units.Params, lambda float64) (lat sweep.Float, saturated bool, m *analytic.Model, err error) {
+	opts, err := sweep.ModelOptions(model)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	parsed, err := system.ParseOrganization(org)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	sys, err := system.New(parsed)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	m, err = analytic.New(sys, par, opts)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	v, err := m.MeanLatency(lambda)
+	switch {
+	case errors.Is(err, analytic.ErrSaturated):
+		return sweep.Float(math.NaN()), true, m, nil
+	case err != nil:
+		return 0, false, nil, err
+	}
+	return sweep.Float(v), false, m, nil
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,9 +38,40 @@ type Cache interface {
 }
 
 // DirCache is a disk-backed cache holding one JSON file per job, so sweeps
-// survive interruption and re-runs resume instantly.
+// survive interruption and re-runs resume instantly. It is safe for
+// concurrent use by multiple engines — even in separate processes — sharing
+// one directory: entries are written to a temporary file and atomically
+// renamed into place, so readers never observe a partial entry, and
+// concurrent writers of the same key (necessarily writing the same outcome,
+// the key is a content hash of the job) settle on a complete file either
+// way.
 type DirCache struct {
 	dir string
+}
+
+// ValidKey reports whether key is acceptable to DirCache: non-empty, at most
+// 200 bytes (headroom for the temp-file and .json suffixes within a 255-byte
+// filename limit), and built only from ASCII letters,
+// digits, '-' and '_'. Job content hashes (lower-case hex) always qualify;
+// the restriction exists because the serving layer accepts keys over the
+// wire, and a key must never be able to address a path outside the cache
+// directory.
+func ValidKey(key string) bool {
+	if key == "" || len(key) > 200 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // NewDirCache opens (creating if needed) a cache rooted at dir.
@@ -57,8 +89,12 @@ func (c *DirCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get implements Cache. Unreadable or corrupt entries count as misses.
+// Get implements Cache. Unreadable or corrupt entries count as misses, as
+// do keys ValidKey rejects.
 func (c *DirCache) Get(key string) (Outcome, bool) {
+	if !ValidKey(key) {
+		return Outcome{}, false
+	}
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return Outcome{}, false
@@ -73,6 +109,9 @@ func (c *DirCache) Get(key string) (Outcome, bool) {
 // Put implements Cache. The entry is written to a temporary file and renamed
 // into place, so a concurrent reader never observes a partial entry.
 func (c *DirCache) Put(key string, o Outcome) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("sweep: invalid cache key %q", key)
+	}
 	b, err := json.Marshal(o)
 	if err != nil {
 		return err
@@ -110,6 +149,9 @@ func (c *DirCache) Len() int {
 
 // Delete removes one cached entry; deleting an absent key is not an error.
 func (c *DirCache) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("sweep: invalid cache key %q", key)
+	}
 	err := os.Remove(c.path(key))
 	if err != nil && !os.IsNotExist(err) {
 		return err

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -55,6 +56,10 @@ type Engine struct {
 	Sinks []Sink
 	// Progress, if non-nil, is called after each result is emitted.
 	Progress func(Progress)
+	// Exec, if non-nil, replaces Execute for jobs not satisfied by Cache.
+	// The serving layer uses it to single-flight identical jobs across
+	// concurrent sweeps and queue workers sharing one outcome cache.
+	Exec func(Job) (Outcome, error)
 }
 
 // testHookJobStart, when non-nil, is invoked by a worker as it begins
@@ -79,16 +84,30 @@ func (e *Engine) workers(jobs int) int {
 // job order regardless of worker scheduling, so output is deterministic at
 // any worker count.
 func (e *Engine) Run(spec Spec) (Summary, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: when ctx is done, no further jobs are
+// started, in-flight simulations finish (the simulator itself has no
+// preemption points) and their outcomes still land in the cache, and the run
+// returns ctx's error. The serving layer uses it for request timeouts and
+// graceful shutdown.
+func (e *Engine) RunContext(ctx context.Context, spec Spec) (Summary, error) {
 	spec = spec.Normalized()
 	jobs, err := Expand(spec)
 	if err != nil {
 		return Summary{}, err
 	}
-	return e.RunJobs(spec, jobs)
+	return e.RunJobsContext(ctx, spec, jobs)
 }
 
 // RunJobs executes an already expanded grid (as printed by a dry run).
 func (e *Engine) RunJobs(spec Spec, jobs []Job) (Summary, error) {
+	return e.RunJobsContext(context.Background(), spec, jobs)
+}
+
+// RunJobsContext is RunJobs with the cancellation semantics of RunContext.
+func (e *Engine) RunJobsContext(ctx context.Context, spec Spec, jobs []Job) (Summary, error) {
 	spec = spec.Normalized()
 	sum := Summary{Total: len(jobs)}
 	if len(jobs) == 0 {
@@ -111,13 +130,25 @@ func (e *Engine) RunJobs(spec Spec, jobs []Job) (Summary, error) {
 	var abortOnce sync.Once
 	stop := func() { abortOnce.Do(func() { close(abort) }) }
 
+	// Tie the abort channel to the caller's context so cancellation stops
+	// the feeder and the workers promptly.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-watchDone:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for pos := range in {
-				res, err := e.runJob(jobs[pos])
+				res, err := e.runJob(ctx, jobs[pos])
 				select {
 				case out <- indexed{pos, res, err}:
 				case <-abort:
@@ -186,21 +217,32 @@ func (e *Engine) RunJobs(spec Spec, jobs []Job) (Summary, error) {
 		}
 	}
 	stop()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return sum, firstErr
 }
 
-// runJob satisfies one job from the cache or by running the simulator.
-func (e *Engine) runJob(j Job) (Result, error) {
+// runJob satisfies one job from the cache or by running the simulator (or
+// the engine's Exec hook).
+func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 	key := j.Key()
 	if e.Cache != nil {
 		if o, ok := e.Cache.Get(key); ok {
 			return Result{Job: j, Outcome: o, Cached: true}, nil
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if testHookJobStart != nil {
 		testHookJobStart(j)
 	}
-	o, err := Execute(j)
+	exec := e.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	o, err := exec(j)
 	if err != nil {
 		return Result{}, err
 	}

@@ -150,10 +150,13 @@ func (j Job) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// deriveSeed computes the job's simulator seed from the sweep's base seed
-// and the job's identity (with the seed field itself still zero), giving
-// every job an independent deterministic stream.
-func deriveSeed(base uint64, j Job) uint64 {
+// DeriveSeed computes a job's simulator seed from a sweep's base seed and
+// the job's identity (with the SimSeed field itself still zero), giving
+// every job an independent deterministic stream. It is exported for the
+// serving layer, which seeds ad-hoc jobs exactly like a sweep with the
+// default base seed would — so a served simulation and a CLI sweep of the
+// same point share one cache entry.
+func DeriveSeed(base uint64, j Job) uint64 {
 	h := sha256.New()
 	h.Write([]byte(j.identity()))
 	var b [8]byte
@@ -232,7 +235,7 @@ func Expand(spec Spec) ([]Job, error) {
 											SizeIndex:    si,
 											LoadIndex:    li,
 										}
-										j.SimSeed = deriveSeed(spec.BaseSeed, j)
+										j.SimSeed = DeriveSeed(spec.BaseSeed, j)
 										jobs = append(jobs, j)
 									}
 								}

@@ -1,0 +1,19 @@
+package mcnet
+
+import "mcnet/internal/serve"
+
+// Re-exported serving types. A Service runs the whole stack — analytic
+// model, simulator, sweep engine — behind a concurrent HTTP JSON API with
+// content-hash job deduplication and an LRU-over-disk outcome cache; see
+// internal/serve's package documentation for the endpoint reference and
+// cmd/mcserved for the standalone daemon.
+type (
+	// Service is the capacity-planning HTTP service.
+	Service = serve.Server
+	// ServiceConfig parameterizes a Service; the zero value is usable.
+	ServiceConfig = serve.Config
+)
+
+// NewService builds a Service and starts its queue workers. Mount
+// Service.Handler on an http.Server and Close the Service on shutdown.
+var NewService = serve.New
