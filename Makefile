@@ -51,13 +51,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLinkClass$$' -fuzztime $(FUZZTIME) ./internal/units
 
 # bench runs the cross-layer hot-path benchmarks (internal/bench) and writes
-# the raw `go test -json` stream to $(BENCH_OUT). The summary printer is
-# cmd/benchdiff -list, which parses the same artifact the gate consumes (and
-# is portable: no GNU grep/sed extensions).
+# the raw `go test -json` stream to $(BENCH_OUT), plus a condensed
+# machine-readable summary (name → ns/op, allocs/op) next to it. The summary
+# printer is cmd/benchdiff, which parses the same artifact the gate consumes
+# (and is portable: no GNU grep/sed extensions).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 -json ./internal/bench > $(BENCH_OUT)
 	@$(GO) run ./cmd/benchdiff -list $(BENCH_OUT)
-	@echo wrote $(BENCH_OUT)
+	@$(GO) run ./cmd/benchdiff -summary $(BENCH_OUT) > $(BENCH_OUT:.json=.summary.json)
+	@echo wrote $(BENCH_OUT) and $(BENCH_OUT:.json=.summary.json)
 
 # bench-all additionally runs every per-package benchmark in the repo
 # (slower; not part of the regression artifact).
@@ -70,13 +72,13 @@ bench-all:
 # deliberately with: make bench && git rm BENCH_<old>.json && git add
 # BENCH_<new>.json (see README).
 bench-gate:
-	@baseline="$$(git ls-files 'BENCH_*.json')"; \
+	@baseline="$$(git ls-files 'BENCH_*.json' | grep -v '\.summary\.json$$' || true)"; \
 	if [ -z "$$baseline" ]; then echo "bench-gate: no committed BENCH_*.json baseline"; exit 1; fi; \
 	if [ "$$(printf '%s\n' "$$baseline" | wc -l)" -ne 1 ]; then \
 		echo "bench-gate: expected exactly one committed baseline, found:"; echo "$$baseline"; exit 1; fi; \
 	$(MAKE) bench BENCH_OUT=BENCH_gate.json || exit 1; \
 	status=0; $(GO) run ./cmd/benchdiff -threshold 1.25 "$$baseline" BENCH_gate.json || status=$$?; \
-	rm -f BENCH_gate.json; exit $$status
+	rm -f BENCH_gate.json BENCH_gate.summary.json; exit $$status
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -88,28 +90,35 @@ ADDR ?= 127.0.0.1:8080
 serve:
 	$(GO) run ./cmd/mcserved -addr $(ADDR)
 
-# smoke boots mcserved on an ephemeral port, curls /healthz and /v1/analyze
-# and fails on any non-200. CI runs this as the serve-smoke job; locally it
-# needs curl on PATH.
+# smoke boots mcserved on an ephemeral port, curls /healthz and /v1/analyze,
+# checks every response carries an X-Request-ID correlation header, and
+# pipes both Prometheus scrape forms (the dedicated endpoint and the
+# Accept-negotiated /metrics) through cmd/promlint — a malformed exposition
+# fails the build. CI runs this as the serve-smoke job; locally it needs
+# curl on PATH.
 smoke:
 	@command -v curl >/dev/null 2>&1 || { echo "smoke: curl not installed; skipping (CI runs it)"; exit 0; }; \
 	set -e; \
 	tmp="$$(mktemp -d)"; \
 	$(GO) build -o "$$tmp/mcserved" ./cmd/mcserved; \
-	"$$tmp/mcserved" -addr 127.0.0.1:0 >"$$tmp/out" 2>&1 & pid=$$!; \
+	$(GO) build -o "$$tmp/promlint" ./cmd/promlint; \
+	"$$tmp/mcserved" -addr 127.0.0.1:0 -log-format json >"$$tmp/out" 2>"$$tmp/log" & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
 	url=""; i=0; while [ $$i -lt 100 ]; do \
 		url="$$(sed -n 's/^mcserved: listening on //p' "$$tmp/out")"; \
 		[ -n "$$url" ] && break; \
-		kill -0 $$pid 2>/dev/null || { echo "smoke: server exited early:"; cat "$$tmp/out"; exit 1; }; \
+		kill -0 $$pid 2>/dev/null || { echo "smoke: server exited early:"; cat "$$tmp/out" "$$tmp/log"; exit 1; }; \
 		i=$$((i+1)); sleep 0.1; \
 	done; \
-	[ -n "$$url" ] || { echo "smoke: server never came up:"; cat "$$tmp/out"; exit 1; }; \
+	[ -n "$$url" ] || { echo "smoke: server never came up:"; cat "$$tmp/out" "$$tmp/log"; exit 1; }; \
 	echo "smoke: $$url"; \
-	curl -fsS "$$url/healthz"; \
+	curl -fsS -D "$$tmp/hdrs" "$$url/healthz"; \
+	grep -qi '^x-request-id:' "$$tmp/hdrs" || { echo "smoke: response missing X-Request-ID header"; exit 1; }; \
 	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
 	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
 	curl -fsS "$$url/metrics" >/dev/null; \
+	curl -fsS "$$url/metrics/prometheus" | "$$tmp/promlint"; \
+	curl -fsS -H 'Accept: text/plain' "$$url/metrics" | "$$tmp/promlint"; \
 	echo "smoke: ok"
 
 # ci mirrors .github/workflows/ci.yml so local runs reproduce the pipeline:
@@ -119,4 +128,4 @@ ci: lint build test race fuzz bench-gate smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out BENCH_gate.json
+	rm -f cover.out BENCH_gate.json BENCH_gate.summary.json

@@ -9,6 +9,7 @@
 //	benchdiff old.json new.json              # gate at the default 1.25×
 //	benchdiff -threshold 1.5 old.json new.json
 //	benchdiff -list file.json                # pretty-print one artifact
+//	benchdiff -summary file.json             # condensed JSON: name → ns/op, allocs/op
 //
 // Benchmarks present in only one artifact are reported (per row and in a
 // summary count) but never fail the gate — new benchmarks must be able to
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		threshold = fs.Float64("threshold", 1.25, "fail when new ns/op exceeds threshold × old ns/op")
 		list      = fs.Bool("list", false, "print one artifact's benchmarks and exit")
+		summary   = fs.Bool("summary", false, "print one artifact as condensed JSON (name → ns/op, allocs/op) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,13 +67,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return errBadFlags
 	}
-	if *list {
+	if *list || *summary {
 		if fs.NArg() != 1 {
-			return fmt.Errorf("-list needs exactly one artifact, got %d", fs.NArg())
+			return fmt.Errorf("-list/-summary need exactly one artifact, got %d", fs.NArg())
 		}
 		benches, err := parseFile(fs.Arg(0))
 		if err != nil {
 			return err
+		}
+		if *summary {
+			return printSummary(stdout, benches)
 		}
 		printBenches(stdout, benches)
 		return nil
@@ -158,6 +163,35 @@ func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
 	}
 	fmt.Fprintf(w, "no regressions beyond %.2f×\n", threshold)
 	return nil
+}
+
+// summaryRow is one benchmark in the -summary JSON document. AllocsOp is a
+// pointer so a stream captured without -benchmem omits the key instead of
+// reporting a fake zero.
+type summaryRow struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+// printSummary emits the condensed machine-readable artifact `make bench`
+// stores next to the raw stream: benchmark name → ns/op and allocs/op,
+// sorted by name so repeated runs diff cleanly.
+func printSummary(w io.Writer, benches []Bench) error {
+	doc := make(map[string]summaryRow, len(benches))
+	for _, b := range benches {
+		row := summaryRow{NsOp: b.NsOp}
+		if b.AllocsOp >= 0 {
+			allocs := b.AllocsOp
+			row.AllocsOp = &allocs
+		}
+		doc[b.Name] = row
+	}
+	b, err := json.MarshalIndent(doc, "", "  ") // map keys marshal sorted
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(b))
+	return err
 }
 
 func printBenches(w io.Writer, benches []Bench) {

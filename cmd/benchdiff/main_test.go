@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -237,5 +238,43 @@ func TestCountKeepsMinimum(t *testing.T) {
 	}
 	if len(benches) != 1 || benches[0].NsOp != 80 {
 		t.Fatalf("parsed %+v, want single BenchmarkFoo at 80 ns/op", benches)
+	}
+}
+
+// TestSummaryMode: -summary must emit valid JSON keyed by benchmark name
+// with ns/op and allocs/op, the condensed artifact `make bench` stores next
+// to the raw stream.
+func TestSummaryMode(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStream(t, dir, "run.json", map[string]float64{
+		"BenchmarkFoo": 100, "BenchmarkBar": 250.5,
+	})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-summary", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-summary failed: %v\n%s", err, stderr.String())
+	}
+	var doc map[string]struct {
+		NsOp     float64  `json:"ns_op"`
+		AllocsOp *float64 `json:"allocs_op"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("-summary output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(doc) != 2 {
+		t.Fatalf("summary has %d entries, want 2:\n%s", len(doc), stdout.String())
+	}
+	foo := doc["BenchmarkFoo"]
+	if foo.NsOp != 100 {
+		t.Errorf("BenchmarkFoo ns_op = %v, want 100", foo.NsOp)
+	}
+	if foo.AllocsOp == nil || *foo.AllocsOp != 1 {
+		t.Errorf("BenchmarkFoo allocs_op = %v, want 1", foo.AllocsOp)
+	}
+}
+
+func TestSummaryModeArgErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-summary", "a.json", "b.json"}, &stdout, &stderr); err == nil {
+		t.Fatal("-summary with two artifacts did not fail")
 	}
 }

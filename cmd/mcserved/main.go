@@ -8,6 +8,8 @@
 //	mcserved -addr :9000 -workers 8           # all interfaces, 8 sim workers
 //	mcserved -addr 127.0.0.1:0                # ephemeral port (printed)
 //	mcserved -cache results/cache             # share mcsweep's disk cache
+//	mcserved -log-format json -log-level debug # structured telemetry on stderr
+//	mcserved -pprof                           # profiling at /debug/pprof/
 //
 // A quick session against a running server:
 //
@@ -16,7 +18,8 @@
 //	curl -s -d '{"org":"org2","lambda":0.0005,"measure":10000}' localhost:8080/v1/simulate
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s -d '{"orgs":["org2"],"loads":{"points":4}}' localhost:8080/v1/sweep
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics            # JSON document
+//	curl -s localhost:8080/metrics/prometheus # Prometheus text exposition
 //
 // The server prints its resolved listen URL on startup and shuts down
 // gracefully on SIGINT/SIGTERM (in-flight jobs finish, listeners drain).
@@ -35,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"mcnet/internal/obs"
 	"mcnet/internal/serve"
 	"mcnet/internal/sweep"
 )
@@ -61,13 +65,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
-		workers  = fs.Int("workers", 0, "simulation workers for the job queue (0 = GOMAXPROCS)")
-		queue    = fs.Int("queue", 0, "pending-job queue depth before 429 (0 = 64)")
-		cacheDir = fs.String("cache", "", "disk outcome-cache directory, shareable with mcsweep -out <dir>/cache (default: memory only)")
-		lruSize  = fs.Int("lru", 0, "in-memory cache entries for outcomes and analyze responses (0 = 4096)")
-		sweeps   = fs.Int("sweeps", 0, "concurrent streaming sweeps before 429 (0 = 2)")
-		maxJobs  = fs.Int("max-sweep-jobs", 0, "largest accepted sweep grid (0 = 10000)")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+		workers   = fs.Int("workers", 0, "simulation workers for the job queue (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "pending-job queue depth before 429 (0 = 64)")
+		cacheDir  = fs.String("cache", "", "disk outcome-cache directory, shareable with mcsweep -out <dir>/cache (default: memory only)")
+		lruSize   = fs.Int("lru", 0, "in-memory cache entries for outcomes and analyze responses (0 = 4096)")
+		sweeps    = fs.Int("sweeps", 0, "concurrent streaming sweeps before 429 (0 = 2)")
+		maxJobs   = fs.Int("max-sweep-jobs", 0, "largest accepted sweep grid (0 = 10000)")
+		logFormat = fs.String("log-format", "text", "structured log format: text|json|off")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see README §Observability)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -86,6 +93,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheSize:        *lruSize,
 		ConcurrentSweeps: *sweeps,
 		MaxSweepJobs:     *maxJobs,
+		Pprof:            *pprofOn,
+	}
+	if *logFormat != "off" {
+		// Telemetry goes to stderr: stdout stays the operator interface (the
+		// resolved listen URL, shutdown notice) so scripts that scrape it
+		// keep working under -log-format json.
+		logger, err := obs.NewLogger(stderr, *logFormat, *logLevel)
+		if err != nil {
+			return err
+		}
+		cfg.Logger = logger
 	}
 	if *cacheDir != "" {
 		disk, err := sweep.NewDirCache(*cacheDir)

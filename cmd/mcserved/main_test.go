@@ -3,10 +3,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -146,4 +148,151 @@ func TestShutdownCancelsStreamingSweep(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 20*time.Second {
 		t.Fatalf("shutdown took %v, sweep cancellation is not effective", elapsed)
 	}
+}
+
+// TestObservabilityFlags boots with -log-format json and -pprof and checks
+// the three wired surfaces: JSON access-log lines on stderr carrying the
+// request id, the Prometheus exposition endpoint, and the pprof index.
+func TestObservabilityFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	var errb syncBuilder
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-log-format", "json", "-log-level", "info", "-pprof"}, pw, &errb)
+		pw.Close()
+		done <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	var base string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "mcserved: listening on "); ok {
+			base = rest
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server never printed its listen URL (stderr: %s)", errb.String())
+	}
+	go io.Copy(io.Discard, pr)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	req, _ := http.NewRequest("GET", base+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "obs-flag-test-1")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "obs-flag-test-1" {
+		t.Errorf("X-Request-ID echoed as %q, want obs-flag-test-1", got)
+	}
+
+	resp, err = client.Get(base + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# TYPE mcserved_requests_total counter") {
+		t.Fatalf("prometheus exposition: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = client.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("-pprof index: %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// One JSON access-log line per request, carrying the caller's id.
+	found := false
+	for _, line := range strings.Split(errb.String(), "\n") {
+		if !strings.Contains(line, `"msg":"request"`) {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("access-log line is not JSON: %v\n%s", err, line)
+		}
+		if doc["request_id"] == "obs-flag-test-1" && doc["route"] == "GET /healthz" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no JSON access-log line with the caller's request id; stderr:\n%s", errb.String())
+	}
+}
+
+// TestPprofOffByDefault: without -pprof the profiling endpoints must not
+// exist.
+func TestPprofOffByDefault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	var errb syncBuilder
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-log-format", "off"}, pw, &errb)
+		pw.Close()
+		done <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	var base string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "mcserved: listening on "); ok {
+			base = rest
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server never printed its listen URL (stderr: %s)", errb.String())
+	}
+	go io.Copy(io.Discard, pr)
+
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: %d, want 404", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v after shutdown", err)
+	}
+}
+
+// syncBuilder is a strings.Builder safe for the server goroutine writing
+// logs while the test reads.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"mcnet/internal/sweep"
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		arrivals  = fs.String("arrivals", "", "override spec arrival axis (comma-separated: poisson|deterministic|mmpp:<peak>:<burst>)")
 		sizes     = fs.String("sizes", "", "override spec size axis (comma-separated: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>)")
 		links     = fs.String("links", "", "override spec link-technology axis (comma-separated: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc)")
+		verbose   = fs.Bool("v", false, "print one line per job as it finishes instead of the progress ticker")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -172,9 +174,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers: *workers,
 		Cache:   cache,
 		Sinks:   []sweep.Sink{csvSink, jsonlSink},
-		Progress: func(p sweep.Progress) {
-			fmt.Fprintf(stderr, "\r%d/%d jobs (%d cache hits)", p.Done, p.Total, p.CacheHits)
-		},
+	}
+	if *verbose {
+		// Per-job lifecycle lines from the engine's Observer hook replace
+		// the in-place ticker (the two would fight over the same terminal
+		// line).
+		eng.Observer = &jobLogger{w: stderr}
+	} else {
+		width := 0 // pad to the widest line yet, so \r fully overwrites
+		eng.Progress = func(p sweep.Progress) {
+			line := fmt.Sprintf("%d/%d jobs (%d cache hits", p.Done, p.Total, p.CacheHits)
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				rate := float64(p.Done) / elapsed
+				line += fmt.Sprintf(", %.1f jobs/s", rate)
+				if p.Done < p.Total && rate > 0 {
+					eta := time.Duration(float64(p.Total-p.Done) / rate * float64(time.Second))
+					line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+				}
+			}
+			line += ")"
+			if len(line) > width {
+				width = len(line)
+			}
+			fmt.Fprintf(stderr, "\r%-*s", width, line)
+		}
 	}
 	sum, err := eng.RunJobs(spec, jobs)
 	fmt.Fprintln(stderr)
@@ -191,6 +214,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spec.Name, sum.Total, sum.Executed, sum.CacheHits, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "wrote %s\nwrote %s\n", csvPath, jsonlPath)
 	return nil
+}
+
+// jobLogger implements sweep.Observer for mcsweep -v: one line per job as
+// it finishes, with its cache disposition and wall time. Workers call it
+// concurrently, hence the mutex.
+type jobLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *jobLogger) JobStarted(j sweep.Job) {}
+
+func (l *jobLogger) JobFinished(j sweep.Job, cached bool, seconds float64) {
+	disposition := "executed"
+	if cached {
+		disposition = "cache hit"
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%s: %s in %.3fs\n", j.Key(), disposition, seconds)
+	l.mu.Unlock()
 }
 
 // loadSpec resolves the -spec argument: a readable file is parsed as JSON,

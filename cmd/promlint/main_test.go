@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanDoc = `# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{route="GET /x"} 12
+`
+
+const dirtyDoc = `demo_requests_total 12
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanFile(t *testing.T) {
+	path := writeFile(t, "clean.txt", cleanDoc)
+	var stdout, stderr strings.Builder
+	if err := run([]string{path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run() = %v, stderr %q", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "clean") {
+		t.Errorf("stdout = %q, want a clean report", stdout.String())
+	}
+}
+
+func TestDirtyFileFails(t *testing.T) {
+	path := writeFile(t, "dirty.txt", dirtyDoc)
+	var stdout, stderr strings.Builder
+	if err := run([]string{path}, &stdout, &stderr); err == nil {
+		t.Fatal("run() accepted a sample without HELP/TYPE")
+	}
+	if !strings.Contains(stderr.String(), path) {
+		t.Errorf("stderr = %q, want the failing path named", stderr.String())
+	}
+}
+
+func TestMixedFilesFailAndReportEach(t *testing.T) {
+	clean := writeFile(t, "clean.txt", cleanDoc)
+	dirty := writeFile(t, "dirty.txt", dirtyDoc)
+	var stdout, stderr strings.Builder
+	if err := run([]string{clean, dirty}, &stdout, &stderr); err == nil {
+		t.Fatal("run() passed with one dirty input")
+	}
+	if !strings.Contains(stdout.String(), clean) {
+		t.Errorf("stdout = %q, want the clean path reported", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), dirty) {
+		t.Errorf("stderr = %q, want the dirty path reported", stderr.String())
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.txt")}, &stdout, &stderr); err == nil {
+		t.Fatal("run() passed with an unreadable input")
+	}
+}

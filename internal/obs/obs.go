@@ -1,0 +1,96 @@
+// Package obs is the unified observability layer of the serving stack:
+// structured logging (log/slog with a selectable handler), request
+// correlation ids carried through context.Context, allocation-free metric
+// primitives (counters live as plain atomics at the call sites; this package
+// contributes the atomic histogram), and a hand-rolled Prometheus text
+// exposition writer with a matching lint.
+//
+// The package deliberately has no dependency beyond the standard library:
+// the exposition format is a stable, tiny text contract (see
+// DESIGN.md §6 for the naming conventions), and writing it by hand keeps
+// the module dependency-free while staying scrapeable by any Prometheus.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+)
+
+// NewLogger builds a structured logger writing to w. Format selects the
+// handler: "text" (human-oriented key=value lines) or "json" (one JSON
+// object per line). Level is one of "debug", "info", "warn", "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (text|json)", format)
+	}
+}
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDPrefix is the deterministic prefix of generated request ids, so
+// a log line's id reveals at a glance whether the caller supplied it or the
+// server coined it.
+const RequestIDPrefix = "mcr-"
+
+var requestSeq atomic.Uint64
+
+// NewRequestID generates a fresh correlation id: the deterministic
+// RequestIDPrefix followed by a process-monotonic sequence number. Ids are
+// correlation handles within one log stream, not global identities.
+func NewRequestID() string {
+	return RequestIDPrefix + strconv.FormatUint(requestSeq.Add(1), 16)
+}
+
+// ValidRequestID reports whether a caller-supplied id is safe to echo and
+// log: non-empty, at most 128 bytes, printable ASCII without spaces,
+// quotes or backslashes (which would let a caller forge log/exposition
+// structure).
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID attaches a correlation id to ctx.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID extracts the correlation id from ctx ("" if none).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

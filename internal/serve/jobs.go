@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
+	"mcnet/internal/obs"
 	"mcnet/internal/sweep"
 	"mcnet/internal/units"
 	"mcnet/internal/workload"
@@ -159,6 +162,14 @@ type jobRecord struct {
 	status jobStatus
 	result json.RawMessage
 	errMsg string
+	// Lifecycle timestamps: created at first submission, started when a
+	// worker picks the job up, finished when it completes or fails. A
+	// re-enqueued failed job resets started/finished; created is the
+	// record's birth and never changes (the id is content-derived, so
+	// "again" is the same record).
+	created  time.Time
+	started  time.Time
+	finished time.Time
 }
 
 // jobID derives the job's identity from its canonicalized content, so
@@ -211,6 +222,8 @@ func (st *jobStore) submit(rec *jobRecord) (*jobRecord, bool, error) {
 		}
 		existing.status = statusQueued
 		existing.errMsg = ""
+		existing.started = time.Time{}
+		existing.finished = time.Time{}
 		return existing, false, nil
 	}
 	if len(st.jobs) >= st.max {
@@ -224,6 +237,7 @@ func (st *jobStore) submit(rec *jobRecord) (*jobRecord, bool, error) {
 	default:
 		return nil, false, errQueueFull
 	}
+	rec.created = time.Now()
 	st.jobs[rec.id] = rec
 	st.order = append(st.order, rec.id)
 	return rec, false, nil
@@ -247,16 +261,21 @@ func (st *jobStore) evictLocked() {
 	st.order = keep
 }
 
-func (st *jobStore) setRunning(rec *jobRecord) {
+// setRunning moves rec to running and stamps its start time, returned for
+// the caller's wall-time accounting.
+func (st *jobStore) setRunning(rec *jobRecord) time.Time {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rec.status = statusRunning
+	rec.started = time.Now()
+	return rec.started
 }
 
 // complete finishes rec with a rendered result document or an error.
 func (st *jobStore) complete(rec *jobRecord, result json.RawMessage, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	rec.finished = time.Now()
 	if err != nil {
 		rec.status = statusFailed
 		rec.errMsg = err.Error()
@@ -267,20 +286,39 @@ func (st *jobStore) complete(rec *jobRecord, result json.RawMessage, err error) 
 }
 
 // jobDoc is the GET /v1/jobs/{id} document. Field order is fixed by the
-// struct, and a finished job's rendering never changes, so repeated reads
-// are byte-identical.
+// struct, and a finished job's rendering never changes — the lifecycle
+// timestamps and wall time freeze at completion, and progress appears only
+// while the job runs — so repeated reads of a finished job are
+// byte-identical.
 type jobDoc struct {
-	ID     string          `json:"id"`
-	Kind   string          `json:"kind"`
-	Status string          `json:"status"`
-	Model  string          `json:"model,omitempty"`
-	Job    sweep.Job       `json:"job"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	Status      string          `json:"status"`
+	Model       string          `json:"model,omitempty"`
+	Created     string          `json:"created,omitempty"`
+	Started     string          `json:"started,omitempty"`
+	Finished    string          `json:"finished,omitempty"`
+	WallTimeSec float64         `json:"wall_time_sec,omitempty"`
+	Progress    *progressDoc    `json:"progress,omitempty"`
+	Job         sweep.Job       `json:"job"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
 }
 
-// get renders the current document for id.
-func (st *jobStore) get(id string) ([]byte, bool) {
+// stamp renders a lifecycle timestamp for the job document: RFC 3339 in
+// UTC, empty (and so omitted) while the transition hasn't happened.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// get renders the current document for id. now anchors the wall-time-so-far
+// of a running job, and prog resolves its live simulator probe by Job.Key
+// (nil when the execution is shared and hasn't registered one, or is between
+// cache lookup and event loop).
+func (st *jobStore) get(id string, now time.Time, prog func(key string) *jobProgress) ([]byte, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rec, ok := st.jobs[id]
@@ -288,13 +326,27 @@ func (st *jobStore) get(id string) ([]byte, bool) {
 		return nil, false
 	}
 	doc := jobDoc{
-		ID:     rec.id,
-		Kind:   string(rec.kind),
-		Status: string(rec.status),
-		Model:  rec.model,
-		Job:    rec.job,
-		Result: rec.result,
-		Error:  rec.errMsg,
+		ID:       rec.id,
+		Kind:     string(rec.kind),
+		Status:   string(rec.status),
+		Model:    rec.model,
+		Created:  stamp(rec.created),
+		Started:  stamp(rec.started),
+		Finished: stamp(rec.finished),
+		Job:      rec.job,
+		Result:   rec.result,
+		Error:    rec.errMsg,
+	}
+	if !rec.started.IsZero() {
+		switch rec.status {
+		case statusRunning:
+			doc.WallTimeSec = now.Sub(rec.started).Seconds()
+			if p := prog(rec.job.Key()); p != nil {
+				doc.Progress = p.snapshot(now)
+			}
+		case statusDone, statusFailed:
+			doc.WallTimeSec = rec.finished.Sub(rec.started).Seconds()
+		}
 	}
 	b, err := json.Marshal(doc)
 	if err != nil {
@@ -382,6 +434,12 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, kind jobKind)
 			"job queue full (%d pending, %d records); retry later", len(s.store.queue), s.cfg.MaxJobs)
 		return
 	}
+	if s.logger != nil && !existed {
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "job queued",
+			slog.String("job_id", rec.id),
+			slog.String("kind", string(kind)),
+			slog.String("request_id", obs.RequestID(r.Context())))
+	}
 	code := http.StatusAccepted
 	if existed {
 		w.Header().Set("X-Cache", "hit")
@@ -399,7 +457,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed job id")
 		return
 	}
-	doc, ok := s.store.get(id)
+	doc, ok := s.store.get(id, time.Now(), s.progress.lookup)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
@@ -420,27 +478,58 @@ type compareDoc struct {
 
 // runJobRecord executes one queued job on a worker.
 func (s *Server) runJobRecord(rec *jobRecord) {
-	s.store.setRunning(rec)
-	o, _, err := s.outcome(rec.job)
+	s.workersBusy.Add(1)
+	defer s.workersBusy.Add(-1)
+	started := s.store.setRunning(rec)
+	if s.logger != nil {
+		s.logger.Info("job started",
+			slog.String("job_id", rec.id),
+			slog.String("kind", string(rec.kind)))
+	}
+	o, shared, err := s.outcome(rec.job)
+	finish := func(result json.RawMessage, err error) {
+		s.store.complete(rec, result, err)
+		if s.logger == nil {
+			return
+		}
+		wall := slog.Float64("wall_ms", float64(time.Since(started))/float64(time.Millisecond))
+		if err != nil {
+			s.logger.Warn("job failed",
+				slog.String("job_id", rec.id),
+				slog.String("kind", string(rec.kind)),
+				wall,
+				slog.String("error", err.Error()))
+			return
+		}
+		cache := "miss"
+		if shared {
+			cache = "hit"
+		}
+		s.logger.Info("job done",
+			slog.String("job_id", rec.id),
+			slog.String("kind", string(rec.kind)),
+			wall,
+			slog.String("cache", cache))
+	}
 	if err != nil {
-		s.store.complete(rec, nil, err)
+		finish(nil, err)
 		return
 	}
 	var result any = o
 	if rec.kind == kindCompare {
 		doc, cerr := compareOutcome(rec.model, rec.job, o)
 		if cerr != nil {
-			s.store.complete(rec, nil, cerr)
+			finish(nil, cerr)
 			return
 		}
 		result = doc
 	}
 	b, err := json.Marshal(result)
 	if err != nil {
-		s.store.complete(rec, nil, err)
+		finish(nil, err)
 		return
 	}
-	s.store.complete(rec, b, nil)
+	finish(b, nil)
 }
 
 // compareOutcome attaches the analytic prediction to a simulation outcome.

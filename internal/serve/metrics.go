@@ -2,48 +2,73 @@ package serve
 
 import (
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mcnet/internal/obs"
 	"mcnet/internal/stats"
 	"mcnet/internal/sweep"
 )
 
-// latencySamples bounds the per-route reservoir the quantiles are computed
-// from: a ring of the most recent observations.
+// latencySamples bounds the per-route reservoir the JSON quantiles are
+// computed from: a ring of the most recent observations.
 const latencySamples = 2048
 
 // metrics aggregates per-route request statistics for GET /metrics.
+//
+// The hot path is sharded per route with atomics: record on one route never
+// contends with record on another, and the only lock taken is the route's
+// own sample-ring mutex. (The previous design took one global mutex on
+// every request across all routes, serializing the ~120k req/s analyze fast
+// path against every other handler; BenchmarkMetricsRecordParallel guards
+// against that regressing.)
 type metrics struct {
-	mu     sync.Mutex
+	// routes is immutable after newMetrics: the route set is the mux's
+	// registration list, so lookup is a lock-free map read.
 	routes map[string]*routeStats
+	names  []string // registration order, for deterministic exposition
 }
 
 type routeStats struct {
-	count   int64
-	errors  int64 // responses with status >= 400
+	count  atomic.Int64
+	errors atomic.Int64 // responses with status >= 400
+	// hist feeds the Prometheus latency histogram (seconds): pure atomics,
+	// no lock.
+	hist *obs.Histogram
+
+	// mu guards only the JSON snapshot state: the running aggregate and the
+	// ring of recent latencies (ms) behind the exact quantiles.
+	mu      sync.Mutex
 	lat     stats.Running
-	samples []float64 // ring of recent latencies (ms)
+	samples []float64
 	next    int
 }
 
-func newMetrics() *metrics {
-	return &metrics{routes: make(map[string]*routeStats)}
+func newMetrics(routes []string) *metrics {
+	m := &metrics{routes: make(map[string]*routeStats, len(routes)), names: routes}
+	for _, r := range routes {
+		m.routes[r] = &routeStats{hist: obs.NewHistogram(obs.DefLatencyBuckets)}
+	}
+	return m
 }
 
 func (m *metrics) record(route string, code int, d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	rs, ok := m.routes[route]
 	if !ok {
-		rs = &routeStats{}
-		m.routes[route] = rs
+		// Routes are registered up front; an unknown label would be a
+		// programming error. Drop rather than racing a map write.
+		return
 	}
-	rs.count++
+	rs.count.Add(1)
 	if code >= 400 {
-		rs.errors++
+		rs.errors.Add(1)
 	}
+	rs.hist.Observe(d.Seconds())
+
+	ms := float64(d) / float64(time.Millisecond)
+	rs.mu.Lock()
 	rs.lat.Add(ms)
 	if len(rs.samples) < latencySamples {
 		rs.samples = append(rs.samples, ms)
@@ -51,6 +76,7 @@ func (m *metrics) record(route string, code int, d time.Duration) {
 		rs.samples[rs.next%latencySamples] = ms
 	}
 	rs.next++
+	rs.mu.Unlock()
 }
 
 // latDoc carries latency aggregates in milliseconds. Quantiles are exact
@@ -99,19 +125,20 @@ type metricsDoc struct {
 }
 
 func (m *metrics) snapshot() map[string]routeDoc {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := make(map[string]routeDoc, len(m.routes))
 	for route, rs := range m.routes {
-		doc := routeDoc{Count: rs.count, Errors: rs.errors}
-		if rs.count > 0 {
+		doc := routeDoc{Count: rs.count.Load(), Errors: rs.errors.Load()}
+		if doc.Count > 0 {
+			rs.mu.Lock()
 			sample := append([]float64(nil), rs.samples...)
+			mean, max := rs.lat.Mean(), rs.lat.Max()
+			rs.mu.Unlock()
 			doc.Latency = &latDoc{
-				Mean: sweep.Float(rs.lat.Mean()),
+				Mean: sweep.Float(mean),
 				P50:  sweep.Float(stats.Quantile(sample, 0.5)),
 				P90:  sweep.Float(stats.Quantile(sample, 0.9)),
 				P99:  sweep.Float(stats.Quantile(sample, 0.99)),
-				Max:  sweep.Float(rs.lat.Max()),
+				Max:  sweep.Float(max),
 			}
 		}
 		out[route] = doc
@@ -119,8 +146,16 @@ func (m *metrics) snapshot() map[string]routeDoc {
 	return out
 }
 
-// handleMetrics implements GET /metrics.
+// handleMetrics implements GET /metrics. The document is JSON (the original
+// wire format, kept byte-compatible for existing consumers) unless the
+// client asks for the Prometheus text exposition via Accept — text/plain
+// or the OpenMetrics type — which is also available unconditionally at
+// GET /metrics/prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPrometheus(r.Header.Get("Accept")) {
+		s.handleMetricsProm(w, r)
+		return
+	}
 	memHits := s.cache.memHits.Load()
 	diskHits := s.cache.nextHits.Load()
 	misses := s.cache.misses.Load()
@@ -152,6 +187,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// acceptsPrometheus reports whether an Accept header prefers the text
+// exposition over the JSON document. The check is deliberately simple:
+// any mention of text/plain or an OpenMetrics type selects text; JSON
+// consumers (which send nothing, */*, or application/json) keep JSON.
+func acceptsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
 // statusWriter records the response status for instrumentation and forwards
 // Flush so streaming handlers keep working through the wrapper.
 type statusWriter struct {
@@ -167,16 +211,5 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
-	}
-}
-
-// instrument wraps a handler with request counting and latency measurement
-// under the given route label.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		s.metrics.record(route, sw.code, time.Since(start))
 	}
 }

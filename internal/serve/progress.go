@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcnet/internal/sweep"
+)
+
+// jobProgress is one running simulation's live telemetry, updated from the
+// simulator's OnProgress probe (a couple of atomic stores every sampling
+// stride — the event loop never blocks on a reader).
+type jobProgress struct {
+	start   time.Time
+	events  atomic.Uint64
+	simTime atomic.Uint64 // float64 bits
+}
+
+// update is the mcsim.Config.OnProgress callback.
+func (p *jobProgress) update(events uint64, simTime float64) {
+	p.events.Store(events)
+	p.simTime.Store(math.Float64bits(simTime))
+}
+
+// progressDoc is the live "progress" object on GET /v1/jobs/{id} while the
+// job's simulation is executing: executed events, the event rate since the
+// run started, the simulated time reached, and wall-clock elapsed.
+type progressDoc struct {
+	Events       uint64      `json:"events"`
+	EventsPerSec sweep.Float `json:"events_per_sec"`
+	SimTime      sweep.Float `json:"sim_time"`
+	ElapsedSec   sweep.Float `json:"elapsed_sec"`
+}
+
+// snapshot renders the probe at `now`.
+func (p *jobProgress) snapshot(now time.Time) *progressDoc {
+	elapsed := now.Sub(p.start).Seconds()
+	events := p.events.Load()
+	doc := &progressDoc{
+		Events:     events,
+		SimTime:    sweep.Float(math.Float64frombits(p.simTime.Load())),
+		ElapsedSec: sweep.Float(elapsed),
+	}
+	if elapsed > 0 {
+		doc.EventsPerSec = sweep.Float(float64(events) / elapsed)
+	} else {
+		doc.EventsPerSec = sweep.Float(math.NaN())
+	}
+	return doc
+}
+
+// progressTable indexes live probes by Job.Key. Keying by job identity
+// (not record id) means a deduplicated job — many records, one execution —
+// reports the one real run's progress to every watcher, including jobs a
+// streaming sweep is executing.
+type progressTable struct {
+	mu sync.Mutex
+	m  map[string]*jobProgress
+}
+
+// begin registers a probe for key and returns it.
+func (t *progressTable) begin(key string) *jobProgress {
+	p := &jobProgress{start: time.Now()}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[string]*jobProgress)
+	}
+	t.m[key] = p
+	t.mu.Unlock()
+	return p
+}
+
+// end removes key's probe.
+func (t *progressTable) end(key string) {
+	t.mu.Lock()
+	delete(t.m, key)
+	t.mu.Unlock()
+}
+
+// lookup returns key's live probe, or nil.
+func (t *progressTable) lookup(key string) *jobProgress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[key]
+}

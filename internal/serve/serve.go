@@ -44,11 +44,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mcnet/internal/obs"
 	"mcnet/internal/sweep"
 )
 
@@ -79,6 +83,15 @@ type Config struct {
 	// ConcurrentSweeps bounds simultaneously streaming sweeps; further ones
 	// are rejected with 429 (0 = 2).
 	ConcurrentSweeps int
+	// Logger, if non-nil, receives structured telemetry: one access-log
+	// line per request and one lifecycle line per job transition, each
+	// carrying the request's correlation id. nil disables logging entirely
+	// (the instrumented fast path pays nothing for it).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ (off by default: profiling handlers on a production
+	// listener are an explicit operator decision).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +135,19 @@ type Server struct {
 	store    *jobStore
 	sweepSem chan struct{}
 	metrics  *metrics
+	logger   *slog.Logger
+
+	// Queue-worker and sweep-engine telemetry behind /metrics.
+	workersBusy      atomic.Int64
+	engineStarted    atomic.Int64
+	engineExecuted   atomic.Int64
+	engineCached     atomic.Int64
+	engineBusy       atomic.Int64
+	engineJobSeconds *obs.Histogram
+	sweepsTotal      atomic.Int64
+	// progress tracks live per-job simulator probes by Job.Key, surfaced on
+	// GET /v1/jobs/{id} while a job runs.
+	progress progressTable
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -132,26 +158,51 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newLayeredCache(cfg.CacheSize, cfg.Disk),
-		resp:     newLRU(cfg.CacheSize),
-		store:    newJobStore(cfg.QueueDepth, cfg.MaxJobs),
-		sweepSem: make(chan struct{}, cfg.ConcurrentSweeps),
-		metrics:  newMetrics(),
+		cfg:              cfg,
+		cache:            newLayeredCache(cfg.CacheSize, cfg.Disk),
+		resp:             newLRU(cfg.CacheSize),
+		store:            newJobStore(cfg.QueueDepth, cfg.MaxJobs),
+		sweepSem:         make(chan struct{}, cfg.ConcurrentSweeps),
+		logger:           cfg.Logger,
+		engineJobSeconds: obs.NewHistogram(engineJobBuckets),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
-	mux := http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	// The route list is closed at construction: it keys both the
+	// instrumentation (sharded, lock-free metric lookup) and the route
+	// label vocabulary of the Prometheus exposition.
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+		{"GET /metrics/prometheus", s.handleMetricsProm},
+		{"POST /v1/analyze", s.handleAnalyze},
+		{"POST /v1/simulate", s.handleSimulate},
+		{"POST /v1/compare", s.handleCompare},
+		{"GET /v1/jobs/{id}", s.handleJobGet},
+		{"POST /v1/sweep", s.handleSweep},
 	}
-	route("GET /healthz", s.handleHealthz)
-	route("GET /metrics", s.handleMetrics)
-	route("POST /v1/analyze", s.handleAnalyze)
-	route("POST /v1/simulate", s.handleSimulate)
-	route("POST /v1/compare", s.handleCompare)
-	route("GET /v1/jobs/{id}", s.handleJobGet)
-	route("POST /v1/sweep", s.handleSweep)
+	names := make([]string, len(routes))
+	for i, r := range routes {
+		names[i] = r.pattern
+	}
+	s.metrics = newMetrics(names)
+	mux := http.NewServeMux()
+	for _, r := range routes {
+		mux.HandleFunc(r.pattern, s.instrument(r.pattern, r.h))
+	}
+	if cfg.Pprof {
+		// Profiling endpoints are deliberately uninstrumented: a profile
+		// download's latency would drown the request histograms, and the
+		// route set above stays a closed vocabulary.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = mux
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -173,6 +224,39 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// instrument wraps a handler with correlation and measurement under the
+// given route label: an X-Request-ID is accepted from the caller (or
+// generated with the deterministic obs prefix), echoed on the response,
+// carried via the request context into handlers and job submission, and
+// stamped on the access-log line written after the handler returns.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		s.metrics.record(route, sw.code, d)
+		if s.logger != nil {
+			attrs := []slog.Attr{
+				slog.String("route", route),
+				slog.Int("status", sw.code),
+				slog.Float64("dur_ms", float64(d)/float64(time.Millisecond)),
+				slog.String("request_id", id),
+			}
+			if cache := sw.Header().Get("X-Cache"); cache != "" {
+				attrs = append(attrs, slog.String("cache", cache))
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	}
+}
 
 // Close stops the queue workers and waits for in-flight jobs to finish.
 // Queued-but-unstarted jobs keep their "queued" status; the process is going
@@ -199,11 +283,18 @@ func (s *Server) outcome(j sweep.Job) (sweep.Outcome, bool, error) {
 		if o, ok := s.cache.Get(key); ok {
 			return o, nil
 		}
-		exec := sweep.Execute
+		var o sweep.Outcome
+		var err error
 		if testHookExecute != nil {
-			exec = testHookExecute
+			o, err = testHookExecute(j)
+		} else {
+			// Register a live progress probe for the duration of the run:
+			// GET /v1/jobs/{id} of a running job reports events, events/sec
+			// and simulated time sampled from the event loop.
+			p := s.progress.begin(key)
+			o, err = sweep.ExecuteObserved(j, 0, p.update)
+			s.progress.end(key)
 		}
-		o, err := exec(j)
 		if err != nil {
 			return nil, err
 		}

@@ -105,12 +105,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.sweepsTotal.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	eng := &sweep.Engine{
-		Workers: s.cfg.SweepWorkers,
-		Exec:    s.execJob,
-		Sinks:   []sweep.Sink{&ndjsonSink{w: w}},
+		Workers:  s.cfg.SweepWorkers,
+		Exec:     s.execJob,
+		Sinks:    []sweep.Sink{&ndjsonSink{w: w}},
+		Observer: engineObserver{s: s},
 	}
 	if _, err := eng.RunJobsContext(r.Context(), spec, jobs); err != nil && r.Context().Err() == nil {
 		// The status line is long gone; report the failure in-band as a

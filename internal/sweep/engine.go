@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"mcnet/internal/analytic"
 	"mcnet/internal/mcsim"
@@ -60,6 +61,20 @@ type Engine struct {
 	// The serving layer uses it to single-flight identical jobs across
 	// concurrent sweeps and queue workers sharing one outcome cache.
 	Exec func(Job) (Outcome, error)
+	// Observer, if non-nil, receives per-job lifecycle telemetry from the
+	// workers. Unlike Progress (which reports in job order as results are
+	// emitted), the Observer sees events as they happen, from whichever
+	// worker they happen on — it must be safe for concurrent use.
+	Observer Observer
+}
+
+// Observer receives engine job lifecycle events. JobStarted fires when a
+// worker picks a job up (before the cache lookup); JobFinished fires when
+// the job resolves, with whether it was satisfied from the cache and its
+// wall time in seconds. Both may be called concurrently from many workers.
+type Observer interface {
+	JobStarted(j Job)
+	JobFinished(j Job, cached bool, seconds float64)
 }
 
 // testHookJobStart, when non-nil, is invoked by a worker as it begins
@@ -226,6 +241,19 @@ func (e *Engine) RunJobsContext(ctx context.Context, spec Spec, jobs []Job) (Sum
 // runJob satisfies one job from the cache or by running the simulator (or
 // the engine's Exec hook).
 func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
+	var start time.Time
+	if e.Observer != nil {
+		start = time.Now()
+		e.Observer.JobStarted(j)
+	}
+	res, err := e.runJobInner(ctx, j)
+	if e.Observer != nil && err == nil {
+		e.Observer.JobFinished(j, res.Cached, time.Since(start).Seconds())
+	}
+	return res, err
+}
+
+func (e *Engine) runJobInner(ctx context.Context, j Job) (Result, error) {
 	key := j.Key()
 	if e.Cache != nil {
 		if o, ok := e.Cache.Get(key); ok {
@@ -256,6 +284,14 @@ func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
 
 // Execute runs one job's simulation to completion.
 func Execute(j Job) (Outcome, error) {
+	return ExecuteObserved(j, 0, nil)
+}
+
+// ExecuteObserved is Execute with a live progress probe: onProgress, if
+// non-nil, is sampled from the simulator's event loop about every `every`
+// executed events (0 = the simulator's default stride). The probe has no
+// effect on the outcome — ExecuteObserved(j, 0, nil) is exactly Execute(j).
+func ExecuteObserved(j Job, every uint64, onProgress func(events uint64, simTime float64)) (Outcome, error) {
 	org, err := system.ParseOrganization(j.Org)
 	if err != nil {
 		return Outcome{}, err
@@ -285,6 +321,7 @@ func Execute(j Job) (Outcome, error) {
 		Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
 		Seed: j.SimSeed, Pattern: pattern, RoutingMode: mode,
 		Arrival: arrival, Sizes: sizes,
+		OnProgress: onProgress, ProgressEvery: every,
 	})
 	if err != nil && !res.Truncated {
 		return Outcome{}, err
