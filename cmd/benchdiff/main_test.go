@@ -159,9 +159,17 @@ func TestUnmeasurableBaselineFailsGate(t *testing.T) {
 // TestCommittedBaselinePassesGate compares the repo's committed BENCH
 // artifact against itself: the gate must pass on the baseline it ships with.
 func TestCommittedBaselinePassesGate(t *testing.T) {
-	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	all, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	// make bench leaves BENCH_<rev>.summary.json next to the raw artifact;
+	// summaries are condensed JSON, not go test -json streams, so skip them.
+	var matches []string
+	for _, m := range all {
+		if !strings.HasSuffix(m, ".summary.json") {
+			matches = append(matches, m)
+		}
 	}
 	if len(matches) == 0 {
 		t.Fatal("no committed BENCH_*.json baseline at the repo root")
