@@ -1,13 +1,16 @@
 // Command benchdiff compares two benchmark artifacts produced by `make
 // bench` (`go test -json` streams, the BENCH_<rev>.json files) and fails
 // when any benchmark of the new run regressed beyond the threshold in
-// ns/op. It is the CI bench-gate: the committed baseline is the contract,
-// and a PR that slows a hot path down >25% fails the gate.
+// ns/op or in allocs/op. It is the CI bench-gate: the committed baseline is
+// the contract, and a PR that slows a hot path down >25% — or grows its
+// allocation count >25%, the leading indicator of pooling regressions —
+// fails the gate.
 //
 // Usage:
 //
 //	benchdiff old.json new.json              # gate at the default 1.25×
 //	benchdiff -threshold 1.5 old.json new.json
+//	benchdiff -alloc-threshold 2 old.json new.json
 //	benchdiff -list file.json                # pretty-print one artifact
 //	benchdiff -summary file.json             # condensed JSON: name → ns/op, allocs/op
 //
@@ -16,7 +19,9 @@
 // land together with their baseline refresh, and removals land with one
 // too. Benchmarks whose ns/op is unmeasurable on either side (zero,
 // negative, NaN) fail the gate: the comparison is meaningless and must not
-// silently pass.
+// silently pass. The alloc gate only engages when both artifacts carry an
+// allocs/op measurement — a legacy baseline captured without -benchmem
+// skips it (with a notice) rather than failing.
 package main
 
 import (
@@ -57,9 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		threshold = fs.Float64("threshold", 1.25, "fail when new ns/op exceeds threshold × old ns/op")
-		list      = fs.Bool("list", false, "print one artifact's benchmarks and exit")
-		summary   = fs.Bool("summary", false, "print one artifact as condensed JSON (name → ns/op, allocs/op) and exit")
+		threshold      = fs.Float64("threshold", 1.25, "fail when new ns/op exceeds threshold × old ns/op")
+		allocThreshold = fs.Float64("alloc-threshold", 1.25, "fail when new allocs/op exceeds alloc-threshold × old allocs/op (skipped when either artifact lacks allocs/op)")
+		list           = fs.Bool("list", false, "print one artifact's benchmarks and exit")
+		summary        = fs.Bool("summary", false, "print one artifact as condensed JSON (name → ns/op, allocs/op) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *threshold <= 0 {
 		return fmt.Errorf("threshold %v must be positive", *threshold)
 	}
+	if *allocThreshold <= 0 {
+		return fmt.Errorf("alloc-threshold %v must be positive", *allocThreshold)
+	}
 	old, err := parseFile(fs.Arg(0))
 	if err != nil {
 		return fmt.Errorf("%s: %v", fs.Arg(0), err)
@@ -95,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %v", fs.Arg(1), err)
 	}
-	return diff(stdout, old, new_, *threshold)
+	return diff(stdout, old, new_, *threshold, *allocThreshold)
 }
 
 // diff reports every benchmark comparison and returns an error naming the
@@ -106,14 +115,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 // either side (zero, negative or NaN — a corrupt artifact) fails the gate:
 // its ratio would be Inf or NaN, and NaN compares false against any
 // threshold, which would silently pass a broken measurement.
-func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
+//
+// Alongside ns/op, allocs/op is gated at allocThreshold when both sides
+// measured it. Allocation counts are deterministic counters, so the gate is
+// strict: a zero-alloc baseline that grows any allocations is a regression
+// (no ratio needed), which is exactly the property the pooled hot paths pin.
+// Benchmarks without allocs/op on either side — a baseline captured before
+// -benchmem, or one side stripped — skip the alloc comparison and are
+// counted in a notice line, never failed.
+func diff(w io.Writer, old, new_ []Bench, threshold, allocThreshold float64) error {
 	oldBy := make(map[string]Bench, len(old))
 	for _, b := range old {
 		oldBy[b.Name] = b
 	}
 	seen := make(map[string]bool, len(new_))
 	var regressions, unmeasurable []string
-	added, removed := 0, 0
+	added, removed, allocSkipped := 0, 0, 0
 	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, nb := range new_ {
 		seen[nb.Name] = true
@@ -141,6 +158,19 @@ func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.1f → %.1f ns/op (%.2f× > %.2f×)", nb.Name, ob.NsOp, nb.NsOp, ratio, threshold))
 		}
+		switch {
+		case ob.AllocsOp < 0 || nb.AllocsOp < 0:
+			allocSkipped++
+		case ob.AllocsOp == 0 && nb.AllocsOp > 0:
+			mark += "  ALLOC-REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: 0 → %.0f allocs/op (zero-alloc baseline broken)", nb.Name, nb.AllocsOp))
+		case ob.AllocsOp > 0 && nb.AllocsOp/ob.AllocsOp > allocThreshold:
+			mark += "  ALLOC-REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f → %.0f allocs/op (%.2f× > %.2f×)",
+					nb.Name, ob.AllocsOp, nb.AllocsOp, nb.AllocsOp/ob.AllocsOp, allocThreshold))
+		}
 		fmt.Fprintf(w, "%-28s %14.1f %14.1f %7.2fx%s\n", nb.Name, ob.NsOp, nb.NsOp, ratio, mark)
 	}
 	for _, ob := range old {
@@ -152,6 +182,9 @@ func diff(w io.Writer, old, new_ []Bench, threshold float64) error {
 	if added > 0 || removed > 0 {
 		fmt.Fprintf(w, "%d new benchmark(s) without baseline, %d removed from the new run (neither fails the gate)\n",
 			added, removed)
+	}
+	if allocSkipped > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) without allocs/op on both sides; alloc gate skipped for them\n", allocSkipped)
 	}
 	if len(unmeasurable) > 0 {
 		return fmt.Errorf("%d benchmark(s) with unmeasurable ns/op (corrupt artifact?):\n  %s",

@@ -96,6 +96,111 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	}
 }
 
+// res is one synthetic benchmark measurement; allocs < 0 renders a result
+// line without -benchmem columns, the legacy artifact shape.
+type res struct {
+	ns     float64
+	allocs float64
+}
+
+// streamAllocs builds a go test -json stream with explicit allocs/op values.
+func streamAllocs(results map[string]res) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"mcnet/internal/bench"}` + "\n")
+	for name, r := range results {
+		fmt.Fprintf(&b, `{"Action":"run","Test":"%s"}`+"\n", name)
+		fmt.Fprintf(&b, `{"Action":"output","Test":"%s","Output":"%s-8\n"}`+"\n", name, name)
+		line := fmt.Sprintf(`     100\t%12.1f ns/op`, r.ns)
+		if r.allocs >= 0 {
+			line += fmt.Sprintf(`\t      24 B/op\t%8.0f allocs/op`, r.allocs)
+		}
+		fmt.Fprintf(&b, `{"Action":"output","Test":"%s","Output":"%s\n"}`+"\n", name, line)
+	}
+	b.WriteString(`{"Action":"pass","Package":"mcnet/internal/bench"}` + "\n")
+	return b.String()
+}
+
+func writeAllocStream(t *testing.T, dir, name string, results map[string]res) string {
+	t.Helper()
+	return mustWrite(t, dir, name, streamAllocs(results))
+}
+
+// TestAllocGateFailsOnAllocOnlyRegression: a benchmark whose speed is
+// unchanged but whose allocation count grew beyond the alloc threshold must
+// fail the gate — allocs/op is the leading indicator of a pooling
+// regression, and it moves before ns/op does on a fast machine.
+func TestAllocGateFailsOnAllocOnlyRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeAllocStream(t, dir, "old.json", map[string]res{
+		"BenchmarkFoo": {ns: 100, allocs: 100}, "BenchmarkBar": {ns: 100, allocs: 50},
+	})
+	leaky := writeAllocStream(t, dir, "leaky.json", map[string]res{
+		"BenchmarkFoo": {ns: 100, allocs: 200}, "BenchmarkBar": {ns: 100, allocs: 50},
+	})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{old, leaky}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("2x alloc growth passed the gate; output:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFoo") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("error %q does not name the offender and the allocs/op unit", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkBar") {
+		t.Fatalf("error %q blames the unchanged benchmark", err)
+	}
+	if !strings.Contains(stdout.String(), "ALLOC-REGRESSION") {
+		t.Fatalf("report does not mark the alloc regression:\n%s", stdout.String())
+	}
+
+	// The same artifacts pass with a wider alloc threshold: the knob is live
+	// and independent of -threshold.
+	stdout.Reset()
+	if err := run([]string{"-alloc-threshold", "2.5", old, leaky}, &stdout, &stderr); err != nil {
+		t.Fatalf("2x alloc growth failed the gate at alloc-threshold 2.5: %v", err)
+	}
+}
+
+// TestAllocGateZeroBaselineStrict: a zero-alloc baseline has no ratio — any
+// new allocation is a regression of exactly the property the pools
+// guarantee.
+func TestAllocGateZeroBaselineStrict(t *testing.T) {
+	dir := t.TempDir()
+	old := writeAllocStream(t, dir, "old.json", map[string]res{"BenchmarkHot": {ns: 100, allocs: 0}})
+	leaky := writeAllocStream(t, dir, "leaky.json", map[string]res{"BenchmarkHot": {ns: 100, allocs: 1}})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{old, leaky}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "zero-alloc baseline broken") {
+		t.Fatalf("1 alloc on a zero-alloc baseline did not fail the gate: %v\n%s", err, stdout.String())
+	}
+	// 0 → 0 stays clean.
+	stdout.Reset()
+	if err := run([]string{old, old}, &stdout, &stderr); err != nil {
+		t.Fatalf("zero-alloc baseline fails against itself: %v", err)
+	}
+}
+
+// TestAllocGateSkipsAllocsAbsentBaseline: a legacy baseline captured without
+// -benchmem carries no allocs/op; the alloc gate must skip (with a notice),
+// not fail — otherwise the first PR after introducing the gate could never
+// land.
+func TestAllocGateSkipsAllocsAbsentBaseline(t *testing.T) {
+	dir := t.TempDir()
+	legacy := writeAllocStream(t, dir, "legacy.json", map[string]res{"BenchmarkFoo": {ns: 100, allocs: -1}})
+	new_ := writeAllocStream(t, dir, "new.json", map[string]res{"BenchmarkFoo": {ns: 100, allocs: 500}})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{legacy, new_}, &stdout, &stderr); err != nil {
+		t.Fatalf("allocs-absent baseline failed the gate: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "alloc gate skipped") {
+		t.Fatalf("report does not notice the skipped alloc comparison:\n%s", stdout.String())
+	}
+	// Symmetric: the new run missing allocs/op skips too.
+	stdout.Reset()
+	if err := run([]string{new_, legacy}, &stdout, &stderr); err != nil {
+		t.Fatalf("allocs-absent new run failed the gate: %v\n%s", err, stdout.String())
+	}
+}
+
 // TestRemovedBenchmarkReportedNotFailed: a benchmark present in the
 // baseline but absent from the new run must be reported (per row and in the
 // summary count) without failing the gate — a removal lands together with
@@ -212,6 +317,7 @@ func TestFlagErrors(t *testing.T) {
 		"one arg":        {path},
 		"three args":     {path, path, path},
 		"bad threshold":  {"-threshold", "0", path, path},
+		"bad alloc thr":  {"-alloc-threshold", "-1", path, path},
 		"list two args":  {"-list", path, path},
 		"missing file":   {path, filepath.Join(dir, "nope.json")},
 		"unknown flag":   {"-frobnicate", path, path},

@@ -274,30 +274,53 @@ func chainService(k int, eta func(int) float64, mtcs func(int) float64, mtcn flo
 	return s, true
 }
 
-// Evaluate computes the model at per-node generation rate λ_g. The Result is
-// fully populated even when saturated (with +Inf latencies); the error is
-// ErrSaturated in that case.
-func (m *Model) Evaluate(lambdaG float64) (Result, error) {
-	if lambdaG < 0 || math.IsNaN(lambdaG) {
-		return Result{}, fmt.Errorf("analytic: invalid λ_g %v", lambdaG)
+// satKind names the component class that saturated inside a cluster or pair
+// computation, so memoized results can be reused across clusters with
+// identical inputs while the Bottleneck string still names the *actual*
+// (i,v) indices of the instance being evaluated.
+type satKind int8
+
+const (
+	satNone satKind = iota
+	satChainI1
+	satSourceI1
+	satChainE
+	satSourceE
+	satConc
+)
+
+// satWhere renders the Bottleneck string of a saturation kind for the given
+// cluster/pair indices (v is ignored for intra kinds).
+func satWhere(k satKind, i, v int) string {
+	switch k {
+	case satChainI1:
+		return fmt.Sprintf("channel-chain(ICN1,i=%d)", i)
+	case satSourceI1:
+		return fmt.Sprintf("source-queue(ICN1,i=%d)", i)
+	case satChainE:
+		return fmt.Sprintf("channel-chain(E,i=%d,v=%d)", i, v)
+	case satSourceE:
+		return fmt.Sprintf("source-queue(E,i=%d,v=%d)", i, v)
+	case satConc:
+		return fmt.Sprintf("concentrator(i=%d,v=%d)", i, v)
 	}
+	return ""
+}
+
+// fillRates computes the per-cluster aggregate rates at λ_g into the supplied
+// slices (each of length C): lam is the per-node rate λ_i, outRate is
+// N_i·P_o(i)·λ_i, and inRate is the incoming inter-cluster rate per cluster
+// (for ConcPerEndpoint).
+func (m *Model) fillRates(lambdaG float64, lam, outRate, inRate []float64) {
 	sys := m.Sys
-	res := Result{LambdaG: lambdaG, PerCluster: make([]ClusterResult, sys.C())}
-	f := m.Opt.ChannelFactor
 	n := float64(sys.TotalNodes())
 	c := sys.C()
-	nc := float64(sys.ICN2.Levels())
-
-	// Per-cluster aggregate rates.
-	lam := make([]float64, c)     // per-node rate λ_i
-	outRate := make([]float64, c) // N_i·P_o(i)·λ_i
 	for i := range sys.Clusters {
 		lam[i] = lambdaG * sys.Clusters[i].RateFactor
 		outRate[i] = float64(sys.Clusters[i].Nodes) * m.pOut[i] * lam[i]
 	}
-	// Incoming inter-cluster rate per cluster (for ConcPerEndpoint).
-	inRate := make([]float64, c)
 	for v := 0; v < c; v++ {
+		inRate[v] = 0
 		nv := float64(sys.Clusters[v].Nodes)
 		for u := 0; u < c; u++ {
 			if u == v {
@@ -307,6 +330,212 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 			inRate[v] += outRate[u] * nv / (n - nu)
 		}
 	}
+}
+
+// intraResult is the ICN1 part of one cluster's latency (Eqs. 22–25), or the
+// saturation kind when unstable.
+type intraResult struct {
+	w, s, r, t float64
+	sat        satKind
+}
+
+// intraCluster evaluates the intra-cluster (ICN1) journey of source cluster i
+// at per-node rate lamI: the whole journey stays inside cluster i's ICN1, so
+// every stage uses that network's link class.
+func (m *Model) intraCluster(i int, lamI float64) intraResult {
+	cl := &m.Sys.Clusters[i]
+	ni := cl.Levels
+	nNodes := float64(cl.Nodes)
+	f := m.Opt.ChannelFactor
+	mtcnI1, mtcsI1 := m.mtcnI1[i], m.mtcsI1[i]
+	tcnI1, tcsI1 := m.tcnI1[i], m.tcsI1[i]
+	lamI1 := nNodes * (1 - m.pOut[i]) * lamI // Eq. 5
+	etaI1 := m.dAvg[i] * lamI1 / (f * float64(ni) * nNodes)
+	var res intraResult
+	for j := 1; j <= ni; j++ {
+		pj := m.probJ[i][j]
+		if pj == 0 {
+			continue
+		}
+		s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 },
+			func(int) float64 { return mtcsI1 }, mtcnI1)
+		if !ok {
+			res.sat = satChainI1
+			return res
+		}
+		res.s += pj * s0
+		res.r += pj * (float64(2*j-2)*tcsI1 + tcnI1)
+	}
+	sigma2 := sq(res.s - mtcnI1) // Eq. 22
+	lamSrcI1 := (1 - m.pOut[i]) * lamI
+	if m.Opt.SourceAggregate {
+		lamSrcI1 = lamI1
+	}
+	w, err := queueing.MG1Wait(lamSrcI1, res.s, sigma2)
+	if err != nil {
+		res.sat = satSourceI1
+		return res
+	}
+	res.w = w
+	res.t = res.w + res.s + res.r // Eq. 25
+	return res
+}
+
+// pairResult is the inter-cluster contribution of one destination cluster v
+// to source cluster i's average (Eqs. 26–34), or the saturation kind.
+type pairResult struct {
+	w, s, r, conc float64
+	sat           satKind
+}
+
+// interPair evaluates the merged inter-cluster journey i→v at per-node rate
+// lamI. The journey crosses three link technologies: the ascent through
+// cluster i's ECN1, the ICN2 traverse (whose first and last hops are the
+// concentrator↔ICN2 links), and the descent through cluster v's ECN1 ending
+// on its switch→node link.
+func (m *Model) interPair(i, v int, lamI float64, outRate, inRate []float64) pairResult {
+	sys := m.Sys
+	cl := &sys.Clusters[i]
+	clv := &sys.Clusters[v]
+	ni := cl.Levels
+	nNodes := float64(cl.Nodes)
+	f := m.Opt.ChannelFactor
+	n := float64(sys.TotalNodes())
+	c := sys.C()
+	nc := float64(sys.ICN2.Levels())
+	mtcsE1i := m.mtcsE1[i]
+	mtcnE1v, mtcsE1v := m.mtcnE1[v], m.mtcsE1[v]
+	lamE1 := outRate[i] + outRate[v] // Eq. 6
+	etaE1 := m.dAvg[i] * lamE1 / (f * float64(ni) * nNodes)
+	// Eq. 7: pair-extrapolated total ICN2 load; Eq. 12 normalization per
+	// Options.
+	lamI2Total := lamE1 * n / (nNodes + float64(clv.Nodes))
+	lamI2PerConc := lamI2Total / float64(c)
+	var etaI2 float64
+	if m.Opt.ICN2PaperLiteral {
+		etaI2 = lamI2Total * m.dICN2 / (f * nc)
+	} else {
+		etaI2 = lamI2PerConc * m.dICN2 / (f * nc)
+	}
+
+	var pr pairResult
+	var se, re float64
+	forEachJLH(m, i, v, func(j, l, h int, p float64) bool {
+		k := j + l + 2*h - 1
+		s0, ok := chainService(k, func(stage int) float64 {
+			// Eq. 29: ICN2 stages sit between the ascent (j−1 switch-switch
+			// hops) and the final descent.
+			if stage >= j-1 && stage < j+2*h-1 {
+				return etaI2
+			}
+			return etaE1
+		}, func(stage int) float64 {
+			// Tier-indexed Eq. 16 service: stages j−1 and j+2h−2 are the
+			// concentrator↔ICN2 entry/exit links, the stages between them
+			// ICN2 switch links, everything before the source ECN1,
+			// everything after the destination ECN1.
+			switch {
+			case stage < j-1:
+				return mtcsE1i
+			case stage == j-1 || stage == j+2*h-2:
+				return m.mtcsConc
+			case stage < j+2*h-1:
+				return m.mtcsI2
+			default:
+				return mtcsE1v
+			}
+		}, mtcnE1v)
+		if !ok {
+			pr.sat = satChainE
+			return false
+		}
+		se += p * s0
+		// Eq. 32: the tail pipeline crosses k−1 switch-class links and the
+		// final node link. With heterogeneous tiers the sum splits per
+		// network; the homogeneous form is kept verbatim so the default
+		// evaluation order (and its results) is unchanged.
+		if m.hetero {
+			re += p * (float64(j-1)*m.tcsE1[i] + 2*m.tcsConc +
+				float64(2*h-2)*m.tcsI2 + float64(l-1)*m.tcsE1[v] + m.tcnE1[v])
+		} else {
+			re += p * (float64(k-1)*m.tcsE1[i] + m.tcnE1[v])
+		}
+		return true
+	})
+	if pr.sat != satNone {
+		return pr
+	}
+	lamSrcE := m.pOut[i] * lamI
+	if m.Opt.SourceAggregate {
+		lamSrcE = lamE1
+	}
+	we, err := queueing.MG1Wait(lamSrcE, se, sq(se-mtcnE1v)) // Eq. 30
+	if err != nil {
+		pr.sat = satSourceE
+		return pr
+	}
+	// Eq. 33–34: concentrator + dispatcher waits. The service is
+	// deterministic M·t_cs of the concentrator links' class, optionally
+	// extended by the ICN2 entry blocking at that tier's M·t_cs
+	// (ConcServiceFeedback refinement).
+	concService := m.mtcsConc
+	concVariance := 0.0
+	if m.Opt.ConcServiceFeedback {
+		extra := 0.5 * etaI2 * m.mtcsI2 * m.mtcsI2
+		concService += extra
+		concVariance = extra * extra // blocking is bursty, not fixed
+	}
+	var wConc float64
+	switch m.Opt.ConcArrival {
+	case ConcPerEndpoint:
+		wOut, err1 := queueing.MG1Wait(outRate[i], concService, concVariance)
+		wIn, err2 := queueing.MG1Wait(inRate[v], concService, concVariance)
+		if err1 != nil || err2 != nil {
+			pr.sat = satConc
+			return pr
+		}
+		wConc = wOut + wIn
+	case ConcPairExtrapolated:
+		ws, err := queueing.MG1Wait(lamI2PerConc, concService, concVariance)
+		if err != nil {
+			pr.sat = satConc
+			return pr
+		}
+		wConc = 2 * ws
+	}
+	pr.w, pr.s, pr.r, pr.conc = we, se, re, wConc
+	return pr
+}
+
+// Evaluate computes the model at per-node generation rate λ_g. The Result is
+// fully populated even when saturated (with +Inf latencies); the error is
+// ErrSaturated in that case.
+func (m *Model) Evaluate(lambdaG float64) (Result, error) {
+	return m.evaluate(lambdaG, nil)
+}
+
+// evaluate is the shared driver behind Model.Evaluate and Grid.Evaluate: with
+// a nil Grid it allocates fresh rate slices and computes every cluster and
+// pair directly; with a Grid it reuses the grid's scratch and consults its
+// per-λ memo, which returns bit-identical values because equal memo keys
+// capture every floating-point input of the corresponding computation.
+func (m *Model) evaluate(lambdaG float64, g *Grid) (Result, error) {
+	if lambdaG < 0 || math.IsNaN(lambdaG) {
+		return Result{}, fmt.Errorf("analytic: invalid λ_g %v", lambdaG)
+	}
+	sys := m.Sys
+	res := Result{LambdaG: lambdaG, PerCluster: make([]ClusterResult, sys.C())}
+	c := sys.C()
+
+	var lam, outRate, inRate []float64
+	if g != nil {
+		lam, outRate, inRate = g.beginPoint()
+	} else {
+		lam = make([]float64, c)
+		outRate = make([]float64, c)
+		inRate = make([]float64, c)
+	}
+	m.fillRates(lambdaG, lam, outRate, inRate)
 
 	saturate := func(cr *ClusterResult, where string) {
 		cr.Saturated = true
@@ -318,176 +547,52 @@ func (m *Model) Evaluate(lambdaG float64) (Result, error) {
 	}
 
 	for i := range sys.Clusters {
-		cl := &sys.Clusters[i]
 		cr := &res.PerCluster[i]
 		cr.POut = m.pOut[i]
-		ni := cl.Levels
-		nNodes := float64(cl.Nodes)
 
-		// ── Intra-cluster (ICN1) ── the whole journey stays inside cluster
-		// i's ICN1, so every stage uses that network's link class.
-		mtcnI1, mtcsI1 := m.mtcnI1[i], m.mtcsI1[i]
-		tcnI1, tcsI1 := m.tcnI1[i], m.tcsI1[i]
-		lamI1 := nNodes * (1 - m.pOut[i]) * lam[i] // Eq. 5
-		etaI1 := m.dAvg[i] * lamI1 / (f * float64(ni) * nNodes)
-		okAll := true
-		for j := 1; j <= ni; j++ {
-			pj := m.probJ[i][j]
-			if pj == 0 {
-				continue
-			}
-			s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 },
-				func(int) float64 { return mtcsI1 }, mtcnI1)
-			if !ok {
-				okAll = false
-				break
-			}
-			cr.SIntra += pj * s0
-			cr.RIntra += pj * (float64(2*j-2)*tcsI1 + tcnI1)
+		var ir intraResult
+		if g != nil {
+			ir = g.intraCluster(i, lam[i])
+		} else {
+			ir = m.intraCluster(i, lam[i])
 		}
-		if !okAll {
-			saturate(cr, fmt.Sprintf("channel-chain(ICN1,i=%d)", i))
+		// The partial S/R sums are kept even when saturated, matching the
+		// original single-function evaluation.
+		cr.SIntra, cr.RIntra = ir.s, ir.r
+		if ir.sat != satNone {
+			saturate(cr, satWhere(ir.sat, i, 0))
 			continue
 		}
-		sigma2 := sq(cr.SIntra - mtcnI1) // Eq. 22
-		lamSrcI1 := (1 - m.pOut[i]) * lam[i]
-		if m.Opt.SourceAggregate {
-			lamSrcI1 = lamI1
-		}
-		w, err := queueing.MG1Wait(lamSrcI1, cr.SIntra, sigma2)
-		if err != nil {
-			saturate(cr, fmt.Sprintf("source-queue(ICN1,i=%d)", i))
-			continue
-		}
-		cr.WIntra = w
-		cr.TIntra = cr.WIntra + cr.SIntra + cr.RIntra // Eq. 25
+		cr.WIntra, cr.TIntra = ir.w, ir.t
 
-		// ── Inter-cluster (ECN1 + ICN2), averaged over destinations v ──
-		// The merged journey crosses three link technologies: the ascent
-		// through cluster i's ECN1, the ICN2 traverse (whose first and last
-		// hops are the concentrator↔ICN2 links), and the descent through
-		// cluster v's ECN1 ending on its switch→node link.
-		mtcsE1i := m.mtcsE1[i]
+		// Inter-cluster (ECN1 + ICN2), averaged over destinations v. The
+		// per-pair results accumulate in ascending v order — the same
+		// floating-point addition order as the original single-loop form.
 		var sumT, sumW, sumS, sumR, sumConc float64
-		interOK := true
-		var bottleneck string
-		for v := 0; v < c && interOK; v++ {
+		sat := satNone
+		satV := 0
+		for v := 0; v < c; v++ {
 			if v == i {
 				continue
 			}
-			clv := &sys.Clusters[v]
-			mtcnE1v, mtcsE1v := m.mtcnE1[v], m.mtcsE1[v]
-			lamE1 := outRate[i] + outRate[v] // Eq. 6
-			etaE1 := m.dAvg[i] * lamE1 / (f * float64(ni) * nNodes)
-			// Eq. 7: pair-extrapolated total ICN2 load; Eq. 12 normalization
-			// per Options.
-			lamI2Total := lamE1 * n / (nNodes + float64(clv.Nodes))
-			lamI2PerConc := lamI2Total / float64(c)
-			var etaI2 float64
-			if m.Opt.ICN2PaperLiteral {
-				etaI2 = lamI2Total * m.dICN2 / (f * nc)
+			var pr pairResult
+			if g != nil {
+				pr = g.interPair(i, v, lam[i], outRate, inRate)
 			} else {
-				etaI2 = lamI2PerConc * m.dICN2 / (f * nc)
+				pr = m.interPair(i, v, lam[i], outRate, inRate)
 			}
-
-			var se, re float64
-			forEachJLH(m, i, v, func(j, l, h int, p float64) bool {
-				k := j + l + 2*h - 1
-				s0, ok := chainService(k, func(stage int) float64 {
-					// Eq. 29: ICN2 stages sit between the ascent (j−1
-					// switch-switch hops) and the final descent.
-					if stage >= j-1 && stage < j+2*h-1 {
-						return etaI2
-					}
-					return etaE1
-				}, func(stage int) float64 {
-					// Tier-indexed Eq. 16 service: stages j−1 and j+2h−2 are
-					// the concentrator↔ICN2 entry/exit links, the stages
-					// between them ICN2 switch links, everything before the
-					// source ECN1, everything after the destination ECN1.
-					switch {
-					case stage < j-1:
-						return mtcsE1i
-					case stage == j-1 || stage == j+2*h-2:
-						return m.mtcsConc
-					case stage < j+2*h-1:
-						return m.mtcsI2
-					default:
-						return mtcsE1v
-					}
-				}, mtcnE1v)
-				if !ok {
-					interOK = false
-					bottleneck = fmt.Sprintf("channel-chain(E,i=%d,v=%d)", i, v)
-					return false
-				}
-				se += p * s0
-				// Eq. 32: the tail pipeline crosses k−1 switch-class links
-				// and the final node link. With heterogeneous tiers the sum
-				// splits per network; the homogeneous form is kept verbatim
-				// so the default evaluation order (and its results) is
-				// unchanged.
-				if m.hetero {
-					re += p * (float64(j-1)*m.tcsE1[i] + 2*m.tcsConc +
-						float64(2*h-2)*m.tcsI2 + float64(l-1)*m.tcsE1[v] + m.tcnE1[v])
-				} else {
-					re += p * (float64(k-1)*m.tcsE1[i] + m.tcnE1[v])
-				}
-				return true
-			})
-			if !interOK {
+			if pr.sat != satNone {
+				sat, satV = pr.sat, v
 				break
 			}
-			lamSrcE := m.pOut[i] * lam[i]
-			if m.Opt.SourceAggregate {
-				lamSrcE = lamE1
-			}
-			we, err := queueing.MG1Wait(lamSrcE, se, sq(se-mtcnE1v)) // Eq. 30
-			if err != nil {
-				interOK = false
-				bottleneck = fmt.Sprintf("source-queue(E,i=%d,v=%d)", i, v)
-				break
-			}
-			// Eq. 33–34: concentrator + dispatcher waits. The service is
-			// deterministic M·t_cs of the concentrator links' class,
-			// optionally extended by the ICN2 entry blocking at that tier's
-			// M·t_cs (ConcServiceFeedback refinement).
-			concService := m.mtcsConc
-			concVariance := 0.0
-			if m.Opt.ConcServiceFeedback {
-				extra := 0.5 * etaI2 * m.mtcsI2 * m.mtcsI2
-				concService += extra
-				concVariance = extra * extra // blocking is bursty, not fixed
-			}
-			var wConc float64
-			switch m.Opt.ConcArrival {
-			case ConcPerEndpoint:
-				wOut, err1 := queueing.MG1Wait(outRate[i], concService, concVariance)
-				wIn, err2 := queueing.MG1Wait(inRate[v], concService, concVariance)
-				if err1 != nil || err2 != nil {
-					interOK = false
-					bottleneck = fmt.Sprintf("concentrator(i=%d,v=%d)", i, v)
-				}
-				wConc = wOut + wIn
-			case ConcPairExtrapolated:
-				ws, err := queueing.MG1Wait(lamI2PerConc, concService, concVariance)
-				if err != nil {
-					interOK = false
-					bottleneck = fmt.Sprintf("concentrator(i=%d,v=%d)", i, v)
-				}
-				wConc = 2 * ws
-			}
-			if !interOK {
-				break
-			}
-			sumW += we
-			sumS += se
-			sumR += re
-			sumT += we + se + re
-			sumConc += wConc
+			sumW += pr.w
+			sumS += pr.s
+			sumR += pr.r
+			sumT += pr.w + pr.s + pr.r
+			sumConc += pr.conc
 		}
-		if !interOK {
-			saturate(cr, bottleneck)
+		if sat != satNone {
+			saturate(cr, satWhere(sat, i, satV))
 			continue
 		}
 		inv := 1 / float64(c-1)
@@ -559,13 +664,24 @@ func (m *Model) MeanLatency(lambdaG float64) (float64, error) {
 // saturates, by doubling search followed by bisection to the given relative
 // tolerance. It returns +Inf if no saturation is found below limit.
 func (m *Model) SaturationPoint(start, limit, tol float64) float64 {
+	return saturationPoint(m.Evaluate, start, limit, tol)
+}
+
+// SaturationPoint is the batched counterpart of Model.SaturationPoint: the
+// search probes the same λ sequence through the grid's evaluator, so it
+// returns the identical point while reusing the grid's scratch.
+func (g *Grid) SaturationPoint(start, limit, tol float64) float64 {
+	return saturationPoint(g.Evaluate, start, limit, tol)
+}
+
+func saturationPoint(eval func(float64) (Result, error), start, limit, tol float64) float64 {
 	if start <= 0 {
 		start = 1e-9
 	}
 	lo := 0.0
 	hi := start
 	for {
-		if _, err := m.Evaluate(hi); errors.Is(err, ErrSaturated) {
+		if _, err := eval(hi); errors.Is(err, ErrSaturated) {
 			break
 		}
 		lo = hi
@@ -576,7 +692,7 @@ func (m *Model) SaturationPoint(start, limit, tol float64) float64 {
 	}
 	for hi-lo > tol*hi {
 		mid := (lo + hi) / 2
-		if _, err := m.Evaluate(mid); errors.Is(err, ErrSaturated) {
+		if _, err := eval(mid); errors.Is(err, ErrSaturated) {
 			hi = mid
 		} else {
 			lo = mid

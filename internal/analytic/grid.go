@@ -1,0 +1,162 @@
+package analytic
+
+import "math"
+
+// Grid batch-evaluates one Model over many operating points, amortizing the
+// work the point-wise Evaluate repeats: the per-point rate slices are reused
+// instead of reallocated, and within each point the per-cluster intra results
+// and per-destination pair results are memoized by the full set of
+// floating-point inputs feeding them. Organizations built from repeated
+// cluster shapes (every Table 1 organization) collapse from O(C²) stage
+// recursions per point to one per *distinct* cluster pair, while staying
+// bit-identical to Model.Evaluate: a memo hit replays a computation whose
+// inputs were equal bit-for-bit, and the per-source accumulation still runs
+// in ascending destination order, so every floating-point operation and its
+// order are unchanged.
+//
+// A Grid is not safe for concurrent use; callers that share one across
+// goroutines (e.g. a server) must serialize access. Create with NewGrid.
+type Grid struct {
+	m *Model
+
+	// Per-point scratch, reused across Evaluate calls.
+	lam, outRate, inRate []float64
+
+	// Per-point memos, cleared by beginPoint. The keys embed every
+	// λ-dependent input as raw float bits, so entries never leak between
+	// operating points even if a caller interleaved λ values.
+	intraMemo map[intraKey]intraResult
+	pairMemo  map[pairKey]pairResult
+}
+
+// intraKey captures every input of Model.intraCluster that can differ
+// between clusters: the tree shape (levels; ports are model-global and
+// determine probJ and dAvg together with levels), the cluster size (which
+// determines P_o), the per-node rate, and the cluster's ICN1 link class.
+type intraKey struct {
+	levels, nodes int32
+	pOut          uint64
+	lam           uint64
+	tcnI1, tcsI1  uint64
+}
+
+// pairKey captures every input of Model.interPair that can differ between
+// (source, destination) pairs: both shapes and sizes, the source rate and
+// ECN1 class, the destination ECN1 class, the pair's λ-dependent aggregate
+// rates, and — under ExactICN2Pairs — the pair's NCA level (h is -1 when the
+// averaged P(h) distribution is in effect, which is pair-independent).
+type pairKey struct {
+	lvI, lvV, nI, nV int32
+	h                int32
+	pOutI            uint64
+	lamI             uint64
+	tcsE1I           uint64
+	tcnE1V, tcsE1V   uint64
+	outI, outV       uint64
+	inV              uint64
+}
+
+// NewGrid prepares a batched evaluator over m. The model must not be
+// mutated while the grid is in use.
+func NewGrid(m *Model) *Grid {
+	c := m.Sys.C()
+	return &Grid{
+		m:         m,
+		lam:       make([]float64, c),
+		outRate:   make([]float64, c),
+		inRate:    make([]float64, c),
+		intraMemo: make(map[intraKey]intraResult),
+		pairMemo:  make(map[pairKey]pairResult),
+	}
+}
+
+// beginPoint hands the evaluation driver the reusable rate scratch and
+// resets the per-point memos.
+func (g *Grid) beginPoint() (lam, outRate, inRate []float64) {
+	clear(g.intraMemo)
+	clear(g.pairMemo)
+	return g.lam, g.outRate, g.inRate
+}
+
+// intraCluster is the memoizing wrapper around Model.intraCluster.
+func (g *Grid) intraCluster(i int, lamI float64) intraResult {
+	m := g.m
+	cl := &m.Sys.Clusters[i]
+	key := intraKey{
+		levels: int32(cl.Levels),
+		nodes:  int32(cl.Nodes),
+		pOut:   math.Float64bits(m.pOut[i]),
+		lam:    math.Float64bits(lamI),
+		tcnI1:  math.Float64bits(m.tcnI1[i]),
+		tcsI1:  math.Float64bits(m.tcsI1[i]),
+	}
+	if r, ok := g.intraMemo[key]; ok {
+		return r
+	}
+	r := m.intraCluster(i, lamI)
+	g.intraMemo[key] = r
+	return r
+}
+
+// interPair is the memoizing wrapper around Model.interPair.
+func (g *Grid) interPair(i, v int, lamI float64, outRate, inRate []float64) pairResult {
+	m := g.m
+	cl := &m.Sys.Clusters[i]
+	clv := &m.Sys.Clusters[v]
+	h := int32(-1)
+	if m.Opt.ExactICN2Pairs {
+		h = int32(m.hOf[i][v])
+	}
+	key := pairKey{
+		lvI:    int32(cl.Levels),
+		lvV:    int32(clv.Levels),
+		nI:     int32(cl.Nodes),
+		nV:     int32(clv.Nodes),
+		h:      h,
+		pOutI:  math.Float64bits(m.pOut[i]),
+		lamI:   math.Float64bits(lamI),
+		tcsE1I: math.Float64bits(m.tcsE1[i]),
+		tcnE1V: math.Float64bits(m.tcnE1[v]),
+		tcsE1V: math.Float64bits(m.tcsE1[v]),
+		outI:   math.Float64bits(outRate[i]),
+		outV:   math.Float64bits(outRate[v]),
+		inV:    math.Float64bits(inRate[v]),
+	}
+	if r, ok := g.pairMemo[key]; ok {
+		return r
+	}
+	r := m.interPair(i, v, lamI, outRate, inRate)
+	g.pairMemo[key] = r
+	return r
+}
+
+// Evaluate computes the model at λ_g exactly like Model.Evaluate — same
+// Result, bit for bit, including saturated points and their Bottleneck
+// strings — while reusing the grid's scratch and memoized shared terms.
+func (g *Grid) Evaluate(lambdaG float64) (Result, error) {
+	return g.m.evaluate(lambdaG, g)
+}
+
+// MeanLatency is the batched counterpart of Model.MeanLatency.
+func (g *Grid) MeanLatency(lambdaG float64) (float64, error) {
+	res, err := g.Evaluate(lambdaG)
+	return res.MeanLatency, err
+}
+
+// EvalGrid evaluates the model at every λ of a load grid through one Grid.
+// Results are positionally aligned with lambdaGs; saturated points carry
+// Result.Saturated and +Inf latencies as usual. The error is the first
+// non-saturation error (an invalid λ), with the corresponding Result zero.
+func EvalGrid(m *Model, lambdaGs []float64) ([]Result, error) {
+	g := NewGrid(m)
+	out := make([]Result, len(lambdaGs))
+	var firstErr error
+	for k, l := range lambdaGs {
+		res, err := g.Evaluate(l)
+		out[k] = res
+		if err != nil && err != ErrSaturated && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}

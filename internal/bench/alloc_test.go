@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"testing"
+
+	"mcnet/internal/des"
+	"mcnet/internal/mcsim"
+	"mcnet/internal/rng"
+	"mcnet/internal/workload"
+	"mcnet/internal/wormhole"
+)
+
+// Allocation gates: the hot paths below were made (near-)allocation-free by
+// the pooling work — the DES Call/Register path and the wormhole
+// grant/advance/release cycle run steady-state with zero allocations, and a
+// whole mcsim run costs a fixed setup-time budget regardless of message
+// count (worm paths, acquisition buffers, arrival processes and messages all
+// come from slab pools). These tests pin that property with
+// testing.AllocsPerRun so a regression fails `go test ./...` rather than
+// waiting for someone to read benchmark output. Budgets are hard ceilings
+// with headroom over the measured values (see README "Performance"); they
+// are not targets to grow into.
+func gate(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; gate runs in the non-race CI lane")
+	}
+	got := testing.AllocsPerRun(3, f)
+	if got > budget {
+		t.Errorf("%s: %.1f allocs/run, budget %.0f", name, got, budget)
+	}
+}
+
+// TestAllocsDESCall pins the scheduler's Register/Call fast path at zero
+// steady-state allocations: self-rescheduling handlers churn the event heap
+// without ever touching it structurally once warmed.
+func TestAllocsDESCall(t *testing.T) {
+	var s des.Scheduler
+	c := &callHandler{s: &s, src: rng.New(1)}
+	c.h = s.Register(c)
+	for i := int32(0); i < 64; i++ {
+		s.Call(c.src.Float64(), c.h, 0, i)
+	}
+	s.RunAll(10000) // warm the heap to steady-state capacity
+	gate(t, "des-call", 0, func() { s.RunAll(50000) })
+}
+
+// TestAllocsWormholeLine pins the wormhole grant/advance/release cycle —
+// including the channel arbiters' intrusive wait queues — at zero
+// steady-state allocations under sustained contention.
+func TestAllocsWormholeLine(t *testing.T) {
+	const hops = 8
+	var s des.Scheduler
+	flits := make([]float64, hops)
+	for i := range flits {
+		flits[i] = 1
+	}
+	net := wormhole.New(&s, flits)
+	path := make([]int32, hops)
+	for i := range path {
+		path[i] = int32(i)
+	}
+	var id uint64
+	var inject func(w *wormhole.Worm)
+	inject = func(w *wormhole.Worm) {
+		id++
+		w.Reset(id, path, 16, inject)
+		net.Inject(w)
+	}
+	for i := 0; i < 4; i++ {
+		inject(&wormhole.Worm{})
+	}
+	s.RunAll(10000)
+	gate(t, "wormhole-line", 0, func() { s.RunAll(50000) })
+}
+
+// TestAllocsMcsimOrg1 bounds a full Org1 simulation run (Poisson arrivals,
+// fixed M). Everything here is setup: system expansion, channel tables, the
+// first message-pool slab. The per-message path contributes nothing, so the
+// budget does not scale with Measure.
+func TestAllocsMcsimOrg1(t *testing.T) {
+	cfg := benchConfig(4000)
+	gate(t, "mcsim-org1", 150, func() {
+		if _, err := mcsim.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocsMcsimBursty bounds the bursty fast path: MMPP arrivals and a
+// bimodal length mix on the same organization. Variable-M worms draw their
+// path and acquisition buffers from the pooled slabs, and the MMPP per-node
+// state comes from one arena, so the budget stays within 2× of the fixed-M
+// run — the tentpole target — instead of the ~8× it was when every worm
+// allocated its own buffers.
+func TestAllocsMcsimBursty(t *testing.T) {
+	cfg := benchConfig(4000)
+	cfg.Arrival = workload.MMPP{Peak: 16, Burst: 32}
+	cfg.Sizes = workload.Bimodal{Short: 8, Long: 128, PLong: 0.2}
+	gate(t, "mcsim-bursty", 300, func() {
+		if _, err := mcsim.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

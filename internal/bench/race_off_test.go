@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The alloc
+// gate tests skip under -race: the detector instruments allocations and
+// would fail the zero-alloc budgets for reasons unrelated to the code.
+const raceEnabled = false

@@ -100,6 +100,17 @@ func NewRunner(scale Scale) Runner {
 // use custom options). Tier overrides carried by par become the spec's link
 // axis, so a study handed heterogeneous technology simulates it too
 // (studies that sweep links themselves overwrite Links afterwards).
+// newModelGrid builds the analytic model and wraps it in a batched
+// evaluator: every study probes its model over a load grid (plus the
+// saturation search), exactly the access pattern analytic.Grid amortizes.
+func newModelGrid(sys *system.System, par units.Params, opts analytic.Options) (*analytic.Grid, error) {
+	m, err := analytic.New(sys, par, opts)
+	if err != nil {
+		return nil, err
+	}
+	return analytic.NewGrid(m), nil
+}
+
 func (r Runner) simSpec(name string, org system.Organization, par units.Params, lambdas []float64) sweep.Spec {
 	spec := sweep.Spec{
 		Name:     name,
@@ -176,11 +187,11 @@ func (r Runner) LatencyFigure(name, title string, org system.Organization, mFlit
 	if err != nil {
 		return fig, err
 	}
-	models := make([]*analytic.Model, len(flitBytes))
+	models := make([]*analytic.Grid, len(flitBytes))
 	var xMax float64
 	for i, lm := range flitBytes {
 		par := units.Default().WithMessage(mFlits, lm)
-		m, err := analytic.New(sys, par, r.Options)
+		m, err := newModelGrid(sys, par, r.Options)
 		if err != nil {
 			return fig, err
 		}
@@ -373,7 +384,7 @@ func (r Runner) TrafficPatternStudy(org system.Organization, par units.Params, p
 	if err != nil {
 		return nil, err
 	}
-	model, err := analytic.New(sys, par, r.Options)
+	model, err := newModelGrid(sys, par, r.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -428,7 +439,7 @@ func (r Runner) WorkloadStudy(org system.Organization, par units.Params, points 
 	if err != nil {
 		return nil, err
 	}
-	model, err := analytic.New(sys, par, r.Options)
+	model, err := newModelGrid(sys, par, r.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -500,7 +511,7 @@ func (r Runner) LinkHeterogeneityStudy(org system.Organization, par units.Params
 		return nil, err
 	}
 	configs := LinkHeterogeneityConfigs
-	models := make([]*analytic.Model, len(configs))
+	models := make([]*analytic.Grid, len(configs))
 	linksAxis := make([]string, len(configs))
 	minSat := math.Inf(1)
 	for ci, c := range configs {
@@ -511,7 +522,7 @@ func (r Runner) LinkHeterogeneityStudy(org system.Organization, par units.Params
 		}
 		p.Tiers = tiers
 		linksAxis[ci] = c.Links
-		if models[ci], err = analytic.New(sys, p, r.Options); err != nil {
+		if models[ci], err = newModelGrid(sys, p, r.Options); err != nil {
 			return nil, err
 		}
 		sat := models[ci].SaturationPoint(1e-6, 1, 1e-3)
@@ -562,7 +573,7 @@ func (r Runner) RoutingAblation(org system.Organization, par units.Params, point
 	if err != nil {
 		return nil, err
 	}
-	model, err := analytic.New(sys, par, r.Options)
+	model, err := newModelGrid(sys, par, r.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -596,11 +607,11 @@ func (r Runner) InterpretationAblation(org system.Organization, par units.Params
 	if err != nil {
 		return nil, err
 	}
-	calibrated, err := analytic.New(sys, par, analytic.DefaultOptions())
+	calibrated, err := newModelGrid(sys, par, analytic.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	literal, err := analytic.New(sys, par, analytic.PaperLiteralOptions())
+	literal, err := newModelGrid(sys, par, analytic.PaperLiteralOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -609,7 +620,7 @@ func (r Runner) InterpretationAblation(org system.Organization, par units.Params
 	for i := range xs {
 		xs[i] = sat * float64(i+1) / float64(points)
 	}
-	mk := func(label string, m *analytic.Model) plot.Series {
+	mk := func(label string, m *analytic.Grid) plot.Series {
 		s := plot.Series{Label: label, X: xs, Y: make([]float64, points)}
 		for i, x := range xs {
 			v, err := m.MeanLatency(x)
@@ -652,7 +663,7 @@ func (r Runner) RateHeterogeneityStudy(points int) ([]plot.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := analytic.New(sys, par, r.Options)
+	model, err := newModelGrid(sys, par, r.Options)
 	if err != nil {
 		return nil, err
 	}

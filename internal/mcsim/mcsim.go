@@ -139,8 +139,11 @@ type Result struct {
 }
 
 // message tracks one end-to-end message across its segments. Messages are
-// free-listed across the run: the path buffer and the delivery closure are
-// allocated once per pooled message and reused for every flight.
+// pooled in slabs across the run: each pooled message owns a maxHops-sized
+// slice of the slab's shared path and acquisition arenas, and delivery
+// dispatches through the worm's Owner/Tag (the Sim and the message's pool
+// index) instead of a per-message closure — so growing the pool under a
+// burst costs O(1) allocations per slab, not per message.
 type message struct {
 	id       uint64
 	src, dst int // global node ids
@@ -154,7 +157,6 @@ type message struct {
 	sel3     uint64 // ECN1 descent root selector
 	worm     wormhole.Worm
 	pathBuf  []int32
-	onDone   func(*wormhole.Worm)
 }
 
 // clusterNets holds the channel-table offsets of one cluster's networks.
@@ -209,7 +211,13 @@ type Sim struct {
 	perCluster   []stats.Running
 	interCount   int64
 	measuredDone int
-	freeMsgs     []*message
+	// msgs is the pool registry: worm Tags index into it, so delivery finds
+	// the message without a closure. freeMsgs holds the idle pool slots;
+	// maxHops bounds any route in this organization and sizes the per-message
+	// path/acq arena slices.
+	msgs     []*message
+	freeMsgs []*message
+	maxHops  int
 }
 
 // New builds a simulation instance.
@@ -309,6 +317,17 @@ func New(cfg Config) (*Sim, error) {
 		s.rates[n] = cfg.LambdaG * sys.Clusters[ci].RateFactor
 	}
 	s.perCluster = make([]stats.Running, sys.C())
+	// Bound the longest possible route: an inter-cluster journey climbs the
+	// source ECN1 (Levels channels), crosses a root↔concentrator bridge, the
+	// full ICN2 (2·Levels), the destination bridge, and descends the
+	// destination ECN1. Intra routes (2·Levels) are always shorter.
+	maxLv := 0
+	for i := range sys.Clusters {
+		if lv := sys.Clusters[i].Levels; lv > maxLv {
+			maxLv = lv
+		}
+	}
+	s.maxHops = 2*maxLv + 2*sys.ICN2.Levels() + 2
 	s.genCap = cfg.Warmup + cfg.Measure + cfg.Drain
 	if err := s.setupWorkload(); err != nil {
 		return nil, err
@@ -358,10 +377,7 @@ func (s *Sim) setupWorkload() error {
 	}
 	if cfg.Arrival != nil {
 		if _, isDefault := cfg.Arrival.(workload.Poisson); !isDefault {
-			s.arr = make([]workload.Process, s.sys.TotalNodes())
-			for n := range s.arr {
-				s.arr[n] = cfg.Arrival.NewProcess(s.rates[n])
-			}
+			s.arr = workload.NewProcesses(cfg.Arrival, s.rates)
 		}
 	}
 	if cfg.Sizes != nil {
@@ -588,9 +604,13 @@ func (s *Sim) launch(m *message) {
 		path = dst.table.AppendDownFromRoot(path, dst.ecn1Base, dstRootY, int(s.nodeLocal[m.dst]))
 	}
 	m.pathBuf = path
-	m.worm.Reset(m.id, path, m.flits, m.onDone)
+	m.worm.Reset(m.id, path, m.flits, nil)
 	s.net.Inject(&m.worm)
 }
+
+// WormDelivered implements wormhole.Deliverer: the worm's Tag is the
+// message's pool slot, so delivery needs no per-message closure.
+func (s *Sim) WormDelivered(w *wormhole.Worm) { s.deliver(s.msgs[w.Tag]) }
 
 // deliver records the end-to-end latency of a completed message.
 func (s *Sim) deliver(m *message) {
@@ -613,18 +633,41 @@ func (s *Sim) deliver(m *message) {
 	s.putMessage(m)
 }
 
-// getMessage and putMessage recycle message structs (and their path buffers,
-// worm acquisition buffers and delivery closures) across the run, so the
-// steady-state per-message allocation count is zero.
+// getMessage and putMessage recycle message structs (and their path and worm
+// acquisition buffers) across the run, so the steady-state per-message
+// allocation count is zero. When the free list runs dry — a burst pushing the
+// in-flight count past the pool size — growPool adds a whole slab at once.
 func (s *Sim) getMessage() *message {
-	if n := len(s.freeMsgs); n > 0 {
-		m := s.freeMsgs[n-1]
-		s.freeMsgs = s.freeMsgs[:n-1]
-		return m
+	if n := len(s.freeMsgs); n == 0 {
+		s.growPool()
 	}
-	m := &message{}
-	m.onDone = func(*wormhole.Worm) { s.deliver(m) }
+	n := len(s.freeMsgs)
+	m := s.freeMsgs[n-1]
+	s.freeMsgs = s.freeMsgs[:n-1]
 	return m
+}
+
+// growPool adds poolSlab pooled messages backed by three shared allocations:
+// the message structs themselves and one path and one acq arena, carved into
+// per-message maxHops-capacity slices. The three-index carving caps each
+// slice's capacity so an append past maxHops (impossible by construction, but
+// cheap to make safe) reallocates instead of bleeding into a neighbor's
+// buffer. Worms are wired to the Sim via Owner/Tag for closure-free delivery.
+func (s *Sim) growPool() {
+	const poolSlab = 64
+	msgs := make([]message, poolSlab)
+	paths := make([]int32, poolSlab*s.maxHops)
+	acqs := make([]float64, poolSlab*s.maxHops)
+	for i := range msgs {
+		m := &msgs[i]
+		lo, hi := i*s.maxHops, (i+1)*s.maxHops
+		m.pathBuf = paths[lo:lo:hi]
+		m.worm.SetAcqBuf(acqs[lo:lo:hi])
+		m.worm.Owner = s
+		m.worm.Tag = int32(len(s.msgs))
+		s.msgs = append(s.msgs, m)
+		s.freeMsgs = append(s.freeMsgs, m)
+	}
 }
 
 func (s *Sim) putMessage(m *message) {

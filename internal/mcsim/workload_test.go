@@ -30,13 +30,46 @@ func workloadConfig() Config {
 // stream, replay it, and every single message must arrive with the identical
 // latency — not approximately, bit for bit.
 func TestTraceReplayBitExact(t *testing.T) {
-	cfg := workloadConfig()
+	recRes, repRes := roundTrip(t, workloadConfig)
+	// On this small system the stop time precedes every post-budget no-op
+	// generation event, so even the raw scheduler event counts coincide.
+	if recRes.Events != repRes.Events {
+		t.Errorf("event counts diverged: recorded %d, replayed %d", recRes.Events, repRes.Events)
+	}
+}
+
+// TestTraceReplayBitExactBursty runs the same contract at the benchmark's
+// bursty operating point: the full Org1 system under MMPP(16,32) arrivals
+// with the bimodal length mix. This is the shape the pooled variable-M fast
+// path serves — slab-carved path and acquisition buffers, arena-allocated
+// MMPP state, recycled messages — and recycling a buffer into the wrong worm
+// or disturbing the RNG consumption order would break bit-exactness here.
+// (Raw scheduler event counts legitimately differ: with 1120 nodes, the
+// recording run executes no-op generation events between the budget running
+// out and the final delivery, which the replay chain never schedules.)
+func TestTraceReplayBitExactBursty(t *testing.T) {
+	roundTrip(t, func() Config {
+		return Config{
+			Org: system.Table1Org1(), Par: units.Default(), LambdaG: 0.00032298,
+			Warmup: 200, Measure: 2000, Drain: 200, Seed: 7,
+			Arrival: workload.MMPP{Peak: 16, Burst: 32},
+			Sizes:   workload.Bimodal{Short: 8, Long: 128, PLong: 0.2},
+		}
+	})
+}
+
+// roundTrip records a run's generation stream under mkConfig, replays it,
+// and requires every per-message latency and the summary to match exactly.
+func roundTrip(t *testing.T, mkConfig func() Config) (recRes, repRes Result) {
+	t.Helper()
+	cfg := mkConfig()
 
 	var events []workload.Event
 	recLat := make(map[uint64]float64)
 	cfg.Record = func(e workload.Event) { events = append(events, e) }
 	cfg.OnDeliver = func(id uint64, measured bool, lat float64) { recLat[id] = lat }
-	recRes, err := Run(cfg)
+	var err error
+	recRes, err = Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,13 +78,16 @@ func TestTraceReplayBitExact(t *testing.T) {
 	}
 
 	repLat := make(map[uint64]float64)
-	repCfg := workloadConfig()
+	repCfg := mkConfig()
 	repCfg.Arrival, repCfg.Sizes = nil, nil // replay must not need the generators
 	repCfg.Replay = events
 	repCfg.OnDeliver = func(id uint64, measured bool, lat float64) { repLat[id] = lat }
-	repRes, err := Run(repCfg)
+	repRes, err = Run(repCfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if repRes.Generated != recRes.Generated {
+		t.Fatalf("replay generated %d messages, recording generated %d", repRes.Generated, recRes.Generated)
 	}
 
 	if len(repLat) != len(recLat) {
@@ -65,9 +101,7 @@ func TestTraceReplayBitExact(t *testing.T) {
 	if recRes.Latency != repRes.Latency {
 		t.Errorf("summary diverged:\nrecorded %+v\nreplayed %+v", recRes.Latency, repRes.Latency)
 	}
-	if recRes.Events != repRes.Events {
-		t.Errorf("event counts diverged: recorded %d, replayed %d", recRes.Events, repRes.Events)
-	}
+	return recRes, repRes
 }
 
 // TestExplicitDefaultsMatchNil: passing workload.Poisson and workload.Fixed

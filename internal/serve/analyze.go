@@ -3,9 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
 
+	"mcnet/internal/analytic"
 	"mcnet/internal/sweep"
 	"mcnet/internal/units"
 )
@@ -153,7 +155,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if b, ok := s.resp.Get(key); ok {
 			return b, nil
 		}
-		body, err := renderAnalyze(c)
+		body, err := s.renderAnalyze(c)
 		if err != nil {
 			return nil, err
 		}
@@ -178,8 +180,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 // renderAnalyze evaluates the model at the scenario's operating point and
 // renders the response document once; the bytes are what the cache stores.
-func renderAnalyze(c scenario) ([]byte, error) {
-	lat, saturated, satPoint, err := evalModel(c)
+func (s *Server) renderAnalyze(c scenario) ([]byte, error) {
+	lat, saturated, satPoint, err := s.evalModel(c)
 	if err != nil {
 		return nil, err
 	}
@@ -202,16 +204,29 @@ func renderAnalyze(c scenario) ([]byte, error) {
 }
 
 // evalModel evaluates the scenario's mean latency (Eq. 36) at its load,
-// plus the saturation point the figures stop at.
-func evalModel(c scenario) (lat sweep.Float, saturated bool, satPoint sweep.Float, err error) {
+// plus the saturation point the figures stop at. Both run through the
+// server's prepared-model cache under one lock hold: the saturation search
+// probes dozens of λ points and reuses the grid's scratch for all of them.
+func (s *Server) evalModel(c scenario) (lat sweep.Float, saturated bool, satPoint sweep.Float, err error) {
 	par, err := c.params()
 	if err != nil {
 		return 0, false, 0, err
 	}
-	lat, saturated, m, err := modelLatency(c.model, c.org, par, c.lambda)
+	pm, err := s.preparedModel(c.model, c.org, c.links, par)
 	if err != nil {
 		return 0, false, 0, err
 	}
-	satPoint = sweep.Float(m.SaturationPoint(1e-6, 1, 1e-4))
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	v, err := pm.grid.MeanLatency(c.lambda)
+	switch {
+	case errors.Is(err, analytic.ErrSaturated):
+		lat, saturated = sweep.Float(math.NaN()), true
+	case err != nil:
+		return 0, false, 0, err
+	default:
+		lat = sweep.Float(v)
+	}
+	satPoint = sweep.Float(pm.grid.SaturationPoint(1e-6, 1, 1e-4))
 	return lat, saturated, satPoint, nil
 }

@@ -517,7 +517,7 @@ func (s *Server) runJobRecord(rec *jobRecord) {
 	}
 	var result any = o
 	if rec.kind == kindCompare {
-		doc, cerr := compareOutcome(rec.model, rec.job, o)
+		doc, cerr := s.compareOutcome(rec.model, rec.job, o)
 		if cerr != nil {
 			finish(nil, cerr)
 			return
@@ -533,13 +533,13 @@ func (s *Server) runJobRecord(rec *jobRecord) {
 }
 
 // compareOutcome attaches the analytic prediction to a simulation outcome.
-func compareOutcome(model string, j sweep.Job, o sweep.Outcome) (compareDoc, error) {
+func (s *Server) compareOutcome(model string, j sweep.Job, o sweep.Outcome) (compareDoc, error) {
 	doc := compareDoc{Outcome: o, Analysis: sweep.Float(math.NaN()), RelativeError: sweep.Float(math.NaN())}
 	par, err := j.Params()
 	if err != nil {
 		return doc, err
 	}
-	lat, saturated, _, err := modelLatency(model, j.Org, par, j.Lambda)
+	lat, saturated, err := s.modelLatency(model, j.Org, j.Links, par, j.Lambda)
 	if err != nil {
 		return doc, err
 	}

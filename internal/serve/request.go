@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"sync"
 
 	"mcnet/internal/analytic"
 	"mcnet/internal/sweep"
@@ -63,34 +65,75 @@ func checkLambda(lambda float64) error {
 	return nil
 }
 
-// modelLatency builds the analytic model for a canonical organization under
-// the named preset and evaluates the mean latency (Eq. 36) at lambda.
-// Saturation is an answer, not an error: it returns a NaN latency with
-// saturated set. The model is returned for callers that need more from it
-// (the saturation point).
-func modelLatency(model, org string, par units.Params, lambda float64) (lat sweep.Float, saturated bool, m *analytic.Model, err error) {
+// preparedModel is one cached, ready-to-evaluate analytic model: the spec
+// parsing and topology precompute are done and the batched Grid evaluator
+// carries reusable per-point scratch, so repeated analyze/compare requests
+// against the same model pay only the evaluation itself. The Grid is not
+// safe for concurrent use — mu serializes requests sharing the entry.
+type preparedModel struct {
+	mu   sync.Mutex
+	grid *analytic.Grid
+}
+
+// modelKey canonically identifies a prepared model: everything that feeds
+// analytic.New. org and links arrive in canonical spec syntax (links is the
+// same string par.Tiers was parsed from); the technology floats render in
+// hex so every bit counts.
+func modelKey(model, org, links string, par units.Params) string {
+	hf := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	return "model=" + model +
+		"|org=" + org +
+		"|m=" + strconv.Itoa(par.MessageFlits) +
+		"|lm=" + strconv.Itoa(par.FlitBytes) +
+		"|links=" + links +
+		"|an=" + hf(par.AlphaNet) + "|as=" + hf(par.AlphaSw) + "|bn=" + hf(par.BetaNet)
+}
+
+// preparedModel returns the cached evaluator for (model, org, links, par),
+// building and caching it on miss. Concurrent misses may build twice; the
+// last Put wins, which is benign (the entries are equivalent).
+func (s *Server) preparedModel(model, org, links string, par units.Params) (*preparedModel, error) {
+	key := modelKey(model, org, links, par)
+	if v, ok := s.models.Get(key); ok {
+		return v.(*preparedModel), nil
+	}
 	opts, err := sweep.ModelOptions(model)
 	if err != nil {
-		return 0, false, nil, err
+		return nil, err
 	}
 	parsed, err := system.ParseOrganization(org)
 	if err != nil {
-		return 0, false, nil, err
+		return nil, err
 	}
 	sys, err := system.New(parsed)
 	if err != nil {
-		return 0, false, nil, err
+		return nil, err
 	}
-	m, err = analytic.New(sys, par, opts)
+	m, err := analytic.New(sys, par, opts)
 	if err != nil {
-		return 0, false, nil, err
+		return nil, err
 	}
-	v, err := m.MeanLatency(lambda)
+	pm := &preparedModel{grid: analytic.NewGrid(m)}
+	s.models.Put(key, pm)
+	return pm, nil
+}
+
+// modelLatency evaluates the mean latency (Eq. 36) at lambda through the
+// cached model. Saturation is an answer, not an error: it returns a NaN
+// latency with saturated set.
+func (s *Server) modelLatency(model, org, links string, par units.Params, lambda float64) (lat sweep.Float, saturated bool, err error) {
+	pm, err := s.preparedModel(model, org, links, par)
+	if err != nil {
+		return 0, false, err
+	}
+	pm.mu.Lock()
+	v, err := pm.grid.MeanLatency(lambda)
+	pm.mu.Unlock()
 	switch {
 	case errors.Is(err, analytic.ErrSaturated):
-		return sweep.Float(math.NaN()), true, m, nil
+		return sweep.Float(math.NaN()), true, nil
 	case err != nil:
-		return 0, false, nil, err
+		return 0, false, err
 	}
-	return sweep.Float(v), false, m, nil
+	return sweep.Float(v), false, nil
 }

@@ -127,6 +127,7 @@ type Server struct {
 
 	cache      *layeredCache // simulation outcomes, keyed by Job.Key
 	resp       *lruCache     // rendered analyze responses
+	models     *lruCache     // prepared analytic evaluators, keyed by modelKey
 	respHits   atomic.Int64
 	respMisses atomic.Int64
 	flight     flightGroup
@@ -161,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:              cfg,
 		cache:            newLayeredCache(cfg.CacheSize, cfg.Disk),
 		resp:             newLRU(cfg.CacheSize),
+		models:           newLRU(cfg.CacheSize),
 		store:            newJobStore(cfg.QueueDepth, cfg.MaxJobs),
 		sweepSem:         make(chan struct{}, cfg.ConcurrentSweeps),
 		logger:           cfg.Logger,

@@ -371,15 +371,18 @@ func analysisTable(spec Spec, jobs []Job) (map[[4]int]analysisPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One batched evaluator per distinct model: the grid's load axis then
+	// reuses the model's memoized shared terms across its λ points instead
+	// of re-running every stage recursion per point.
 	type mkey struct{ org, msg, links int }
-	models := make(map[mkey]*analytic.Model)
+	grids := make(map[mkey]*analytic.Grid)
 	for _, j := range jobs {
 		k := analysisKey(j)
 		if _, ok := table[k]; ok {
 			continue
 		}
 		mk := mkey{j.OrgIndex, j.MsgIndex, j.LinksIndex}
-		m, ok := models[mk]
+		g, ok := grids[mk]
 		if !ok {
 			org, err := system.ParseOrganization(j.Org)
 			if err != nil {
@@ -393,14 +396,15 @@ func analysisTable(spec Spec, jobs []Job) (map[[4]int]analysisPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err = analytic.New(sys, par, opts)
+			m, err := analytic.New(sys, par, opts)
 			if err != nil {
 				return nil, err
 			}
-			models[mk] = m
+			g = analytic.NewGrid(m)
+			grids[mk] = g
 		}
 		var p analysisPoint
-		if v, err := m.MeanLatency(j.Lambda); err != nil {
+		if v, err := g.MeanLatency(j.Lambda); err != nil {
 			p = analysisPoint{value: Float(math.NaN()), saturated: true}
 		} else {
 			p = analysisPoint{value: Float(v)}

@@ -61,6 +61,24 @@ func goldenWorkloadSpec() Spec {
 	}
 }
 
+// goldenBurstySpec pins the bursty fast path: the benchmark's own workload
+// (on-off MMPP at 16× peak, bimodal 8/128 lengths) on a heterogeneous
+// organization, recorded before the variable-M pooling refactor so the pooled
+// path must keep reproducing these exact bytes.
+func goldenBurstySpec() Spec {
+	return Spec{
+		Name:     "golden-bursty",
+		Orgs:     []string{"m=4:2x1,2x2@2", "m=4:4x1"},
+		Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+		Arrivals: []string{"mmpp:16:32"},
+		Sizes:    []string{"bimodal:8:128:0.2"},
+		Loads:    Loads{Lambdas: []float64{1e-4, 3e-4}},
+		Warmup:   100, Measure: 800, Drain: 100,
+		Reps:     2,
+		BaseSeed: 23,
+	}
+}
+
 // goldenLinksSpec exercises the link-heterogeneity axis: the homogeneous
 // technology against a degraded global tier and a per-cluster ECN1 override
 // riding in the organization axis, with the analysis column pinned too (the
@@ -115,6 +133,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		{"golden_fig3_m32.csv", goldenFigureSpec()},
 		{"golden_axes.csv", goldenAxesSpec()},
 		{"golden_workload.csv", goldenWorkloadSpec()},
+		{"golden_bursty.csv", goldenBurstySpec()},
 		{"golden_links.csv", goldenLinksSpec()},
 	} {
 		t.Run(tc.spec.Name, func(t *testing.T) {

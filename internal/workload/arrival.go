@@ -57,11 +57,18 @@ type Deterministic struct{}
 func (Deterministic) Name() string { return "deterministic" }
 
 // NewProcess implements Arrival.
-func (Deterministic) NewProcess(rate float64) Process {
+func (d Deterministic) NewProcess(rate float64) Process {
+	p := d.process(rate)
+	return &p
+}
+
+// process derives the per-node state for one rate (shared by NewProcess and
+// the arena-backed NewProcesses).
+func (Deterministic) process(rate float64) deterministicProcess {
 	if rate <= 0 {
 		panic(fmt.Sprintf("workload: deterministic rate %v must be positive", rate))
 	}
-	return &deterministicProcess{interval: 1 / rate}
+	return deterministicProcess{interval: 1 / rate}
 }
 
 type deterministicProcess struct {
@@ -97,6 +104,13 @@ func (m MMPP) Name() string { return "mmpp:" + formatG(m.Peak) + ":" + formatG(m
 
 // NewProcess implements Arrival.
 func (m MMPP) NewProcess(rate float64) Process {
+	p := m.process(rate)
+	return &p
+}
+
+// process derives the per-node modulation state for one rate (shared by
+// NewProcess and the arena-backed NewProcesses).
+func (m MMPP) process(rate float64) mmppProcess {
 	if rate <= 0 {
 		panic(fmt.Sprintf("workload: mmpp rate %v must be positive", rate))
 	}
@@ -106,7 +120,7 @@ func (m MMPP) NewProcess(rate float64) Process {
 	lambdaOn := rate * m.Peak
 	tOn := m.Burst / lambdaOn
 	duty := 1 / m.Peak
-	return &mmppProcess{
+	return mmppProcess{
 		lambdaOn: lambdaOn,
 		onRate:   1 / tOn,
 		offRate:  duty / (tOn * (1 - duty)), // 1 / tOff
@@ -157,6 +171,36 @@ func (p *mmppProcess) Next(r *rng.Source) float64 {
 			p.left = r.Exp(p.offRate)
 		}
 	}
+}
+
+// NewProcesses instantiates one process per rate, backing the per-node state
+// of the known stateful families (MMPP, Deterministic) with a single arena
+// allocation instead of one heap object per node. The returned processes are
+// independent — each element owns its own slot in the arena — and boxing
+// &arena[i] into the interface does not allocate, so a whole fleet of bursty
+// nodes costs O(1) allocations. Unknown families fall back to per-node
+// NewProcess.
+func NewProcesses(a Arrival, rates []float64) []Process {
+	ps := make([]Process, len(rates))
+	switch a := a.(type) {
+	case MMPP:
+		arena := make([]mmppProcess, len(rates))
+		for i, rate := range rates {
+			arena[i] = a.process(rate)
+			ps[i] = &arena[i]
+		}
+	case Deterministic:
+		arena := make([]deterministicProcess, len(rates))
+		for i, rate := range rates {
+			arena[i] = a.process(rate)
+			ps[i] = &arena[i]
+		}
+	default:
+		for i, rate := range rates {
+			ps[i] = a.NewProcess(rate)
+		}
+	}
+	return ps
 }
 
 // ParseArrival resolves an arrival spec string. Recognized forms:

@@ -40,6 +40,14 @@ import (
 	"mcnet/internal/des"
 )
 
+// Deliverer receives delivery callbacks without a per-flight closure: a worm
+// whose OnDone is nil dispatches to Owner.WormDelivered instead, and Owner is
+// pool-lifetime state (it survives Reset), so a pooled worm can be re-flown
+// indefinitely with zero per-message allocations.
+type Deliverer interface {
+	WormDelivered(w *Worm)
+}
+
 // Worm is one in-flight message (or message segment). Reuse via Reset.
 type Worm struct {
 	// ID tags the worm for debugging and deterministic bookkeeping.
@@ -52,6 +60,13 @@ type Worm struct {
 	// OnDone, if non-nil, is invoked exactly once when the tail arrives at
 	// the endpoint. The worm may be reused afterwards.
 	OnDone func(w *Worm)
+	// Owner, if non-nil and OnDone is nil, receives the delivery callback.
+	// Owner and Tag are pool-lifetime fields: Reset deliberately leaves them
+	// alone so a pooled worm keeps its identity across flights.
+	Owner Deliverer
+	// Tag is an owner-defined index (e.g. the message-pool slot), preserved
+	// across Reset alongside Owner.
+	Tag int32
 
 	// InjectedAt, HeaderAt and TailAt record the lifecycle timestamps of the
 	// current flight (set by the network).
@@ -64,7 +79,9 @@ type Worm struct {
 	acq  []float64
 }
 
-// Reset prepares a worm for reuse with a new route.
+// Reset prepares a worm for reuse with a new route. Owner and Tag are
+// preserved — they identify the pooled message the worm belongs to, not the
+// flight.
 func (w *Worm) Reset(id uint64, path []int32, flits int, onDone func(w *Worm)) {
 	w.ID = id
 	w.Path = path
@@ -75,6 +92,13 @@ func (w *Worm) Reset(id uint64, path []int32, flits int, onDone func(w *Worm)) {
 	w.InjectedAt, w.HeaderAt, w.TailAt = 0, 0, 0
 }
 
+// SetAcqBuf hands the worm a caller-owned backing array for its acquisition
+// timestamps, so a pool can carve per-worm buffers out of one arena instead
+// of letting each worm grow its own. Pass a three-index slice
+// (arena[a:a:b]) so an append past the expected capacity reallocates rather
+// than bleeding into a neighbor's buffer.
+func (w *Worm) SetAcqBuf(buf []float64) { w.acq = buf[:0] }
+
 // SourceWait returns how long the worm waited for its first channel (the
 // injection queue wait), or NaN before the first grant.
 func (w *Worm) SourceWait() float64 {
@@ -84,36 +108,39 @@ func (w *Worm) SourceWait() float64 {
 	return w.acq[0] - w.InjectedAt
 }
 
-// fifo is a FIFO of in-flight worm slots with amortized O(1) operations.
-// Storing pool slots rather than pointers keeps the queues GC-transparent.
+// fifo is a FIFO of waiting worm slots, threaded intrusively through the
+// network's waitNext table: a worm waits for at most one channel at a time,
+// so one next-pointer per in-flight slot suffices for every queue in the
+// network, and arbitration queues never allocate no matter how deep a burst
+// stacks them. Storing pool slots rather than pointers keeps the queues
+// GC-transparent.
 type fifo struct {
-	items []int32
-	head  int
-	high  int // high-water mark of the queue length
+	head, tail int32
+	n          int
+	high       int // high-water mark of the queue length
 }
 
-func (f *fifo) push(slot int32) {
-	f.items = append(f.items, slot)
-	if n := f.len(); n > f.high {
-		f.high = n
+func (n *Network) qpush(f *fifo, slot int32) {
+	if f.n == 0 {
+		f.head = slot
+	} else {
+		n.waitNext[f.tail] = slot
+	}
+	f.tail = slot
+	f.n++
+	if f.n > f.high {
+		f.high = f.n
 	}
 }
 
-func (f *fifo) pop() int32 {
-	slot := f.items[f.head]
-	f.head++
-	if f.head == len(f.items) {
-		f.items = f.items[:0]
-		f.head = 0
-	} else if f.head > 64 && f.head*2 >= len(f.items) {
-		n := copy(f.items, f.items[f.head:])
-		f.items = f.items[:n]
-		f.head = 0
-	}
+func (n *Network) qpop(f *fifo) int32 {
+	slot := f.head
+	f.head = n.waitNext[slot]
+	f.n--
 	return slot
 }
 
-func (f *fifo) len() int { return len(f.items) - f.head }
+func (f *fifo) len() int { return f.n }
 
 // channel is one directed link.
 type channel struct {
@@ -132,8 +159,10 @@ type Network struct {
 	ch    []channel
 	// worms and freeSlots are the in-flight table: every injected worm holds
 	// one slot until delivery, so scheduler events can name worms by a dense
-	// index and the event heap stays pointer-free.
+	// index and the event heap stays pointer-free. waitNext runs parallel to
+	// worms and carries the intrusive FIFO links of the channel queues.
 	worms     []*Worm
+	waitNext  []int32
 	freeSlots []int32
 	inFlight  int
 	injected  uint64
@@ -216,6 +245,8 @@ func (n *Network) HandleEvent(op, arg int32) {
 		n.done++
 		if w.OnDone != nil {
 			w.OnDone(w)
+		} else if w.Owner != nil {
+			w.Owner.WormDelivered(w)
 		}
 	}
 }
@@ -240,6 +271,7 @@ func (n *Network) Inject(w *Worm) {
 	} else {
 		w.slot = int32(len(n.worms))
 		n.worms = append(n.worms, w)
+		n.waitNext = append(n.waitNext, 0)
 	}
 	n.inFlight++
 	n.injected++
@@ -253,7 +285,7 @@ func (n *Network) request(w *Worm) {
 		n.grant(c, w)
 		return
 	}
-	c.waiting.push(w.slot)
+	n.qpush(&c.waiting, w.slot)
 }
 
 // grant hands the channel to the worm and schedules the header's hop.
@@ -309,6 +341,6 @@ func (n *Network) release(ci int32) {
 	c.busy = false
 	c.busyTotal += n.sched.Now() - c.busySince
 	if c.waiting.len() > 0 {
-		n.grant(c, n.worms[c.waiting.pop()])
+		n.grant(c, n.worms[n.qpop(&c.waiting)])
 	}
 }
