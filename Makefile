@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH_$(REV).json
 # Per-fuzzer exploration budget of the fuzz smoke.
 FUZZTIME ?= 15s
 
-.PHONY: all build test race vet fmt-check staticcheck lint fuzz bench bench-all bench-gate cover serve smoke ci clean
+.PHONY: all build test race vet fmt-check staticcheck lint fuzz bench bench-all bench-gate cover serve smoke paper paper-small ci clean
 
 all: build test
 
@@ -61,6 +61,7 @@ bench:
 	@$(GO) run ./cmd/benchdiff -list $(BENCH_OUT)
 	@$(GO) run ./cmd/benchdiff -summary $(BENCH_OUT) > $(BENCH_OUT:.json=.summary.json)
 	@echo wrote $(BENCH_OUT) and $(BENCH_OUT:.json=.summary.json)
+	@if ls BENCH_*.json >/dev/null 2>&1; then $(GO) run ./cmd/benchdiff -trajectory BENCH_*.json; fi
 
 # bench-all additionally runs every per-package benchmark in the repo
 # (slower; not part of the regression artifact).
@@ -122,11 +123,24 @@ smoke:
 	curl -fsS -H 'Accept: text/plain' "$$url/metrics" | "$$tmp/promlint"; \
 	echo "smoke: ok"
 
+# paper runs the full reproduction pipeline: every manifest study at paper
+# scale into paper_runs/<stamp>/ with schema-validated CSVs, agreement
+# tables, charts, a perf-trajectory section over the committed BENCH
+# artifacts and a machine-checked report.json verdict. Expect tens of
+# minutes; paper-small is the CI-sized subset (quick scale, 5-point grids,
+# <2 min). Both exit nonzero when the fidelity gate fails.
+paper:
+	$(GO) run ./cmd/mcrepro
+
+paper-small:
+	$(GO) run ./cmd/mcrepro -small
+
 # ci mirrors .github/workflows/ci.yml so local runs reproduce the pipeline:
 # lint job (fmt-check, vet, staticcheck), test job (build, test, race, fuzz),
-# the bench-gate job and the serve-smoke job.
-ci: lint build test race fuzz bench-gate smoke
+# the bench-gate, serve-smoke and repro-gate jobs.
+ci: lint build test race fuzz bench-gate smoke paper-small
 
 clean:
 	$(GO) clean ./...
 	rm -f cover.out BENCH_gate.json BENCH_gate.summary.json
+	rm -rf paper_runs

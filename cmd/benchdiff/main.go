@@ -13,7 +13,15 @@
 //	benchdiff -alloc-threshold 2 old.json new.json
 //	benchdiff -list file.json                # pretty-print one artifact
 //	benchdiff -summary file.json             # condensed JSON: name → ns/op, allocs/op
+//	benchdiff -trajectory BENCH_*.json       # perf-over-time table across revisions
+//	benchdiff -trajectory -out dir BENCH_*.json BENCH_*.summary.json
 //
+// -trajectory assembles every given BENCH_<rev>.json / .summary.json
+// artifact into a perf-over-time report: a markdown table (benchmark × rev,
+// ns/op and allocs/op) and an ASCII chart of each benchmark's ns/op
+// normalized to its first measurement. Revisions are ordered by git
+// first-parent history when run inside the repository (argument order
+// otherwise); a raw stream wins over a summary of the same revision.
 // Benchmarks present in only one artifact are reported (per row and in a
 // summary count) but never fail the gate — new benchmarks must be able to
 // land together with their baseline refresh, and removals land with one
@@ -25,24 +33,25 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
+	"path/filepath"
 	"strings"
+
+	"mcnet/internal/benchfmt"
+	"mcnet/internal/plot"
 )
 
-// Bench is one benchmark's parsed measurements.
-type Bench struct {
-	Name     string
-	NsOp     float64
-	BytesOp  float64 // NaN-free: -1 when absent
-	AllocsOp float64 // -1 when absent
-}
+// Bench is one benchmark's parsed measurements (see internal/benchfmt;
+// BytesOp and AllocsOp are -1 when absent).
+type Bench = benchfmt.Bench
+
+// Parse extracts benchmark results from a `go test -json` stream.
+func Parse(r io.Reader) ([]Bench, error) { return benchfmt.Parse(r) }
 
 // errBadFlags mirrors the mcsweep convention: flag errors are already
 // printed by the FlagSet.
@@ -66,12 +75,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		allocThreshold = fs.Float64("alloc-threshold", 1.25, "fail when new allocs/op exceeds alloc-threshold × old allocs/op (skipped when either artifact lacks allocs/op)")
 		list           = fs.Bool("list", false, "print one artifact's benchmarks and exit")
 		summary        = fs.Bool("summary", false, "print one artifact as condensed JSON (name → ns/op, allocs/op) and exit")
+		trajectory     = fs.Bool("trajectory", false, "assemble BENCH_<rev> artifacts into a perf-over-time table and chart")
+		out            = fs.String("out", "", "with -trajectory: directory to write trajectory.md and trajectory.txt into (default: stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errBadFlags
+	}
+	if *trajectory {
+		if fs.NArg() == 0 {
+			return errors.New("-trajectory needs at least one BENCH_<rev> artifact")
+		}
+		return runTrajectory(stdout, fs.Args(), *out)
 	}
 	if *list || *summary {
 		if fs.NArg() != 1 {
@@ -241,114 +258,51 @@ func printBenches(w io.Writer, benches []Bench) {
 }
 
 func parseFile(path string) ([]Bench, error) {
-	f, err := os.Open(path)
+	return benchfmt.ParseFile(path)
+}
+
+// runTrajectory assembles the given BENCH_<rev> artifacts into the
+// perf-over-time report: a markdown table and a normalized ns/op chart.
+// Revisions are ordered by git first-parent history when available,
+// argument order otherwise. With outDir empty the report goes to stdout;
+// otherwise trajectory.md and trajectory.txt are written there.
+func runTrajectory(stdout io.Writer, paths []string, outDir string) error {
+	arts, err := benchfmt.LoadArtifacts(paths)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer f.Close()
-	return Parse(f)
+	if order, err := benchfmt.GitRevOrder("."); err == nil {
+		benchfmt.SortByRevOrder(arts, order)
+	}
+	md, chart := renderTrajectory(arts)
+	if outDir == "" {
+		fmt.Fprint(stdout, md)
+		fmt.Fprint(stdout, chart)
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range []struct{ name, content string }{
+		{"trajectory.md", md},
+		{"trajectory.txt", chart},
+	} {
+		path := filepath.Join(outDir, f.name)
+		if err := os.WriteFile(path, []byte(f.content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return nil
 }
 
-// event is the subset of the test2json stream benchdiff reads.
-type event struct {
-	Action string `json:"Action"`
-	Test   string `json:"Test"`
-	Output string `json:"Output"`
-}
-
-// Parse extracts benchmark results from a `go test -json` stream. A result
-// is an output event whose payload carries an "ns/op" measurement; the
-// benchmark name comes from the event's Test field (or from the payload
-// itself for streams captured without -json framing per benchmark). The
-// -<GOMAXPROCS> suffix is stripped so artifacts from differently sized
-// machines stay comparable. Results are returned in first-seen order;
-// repeated measurements of one benchmark (e.g. -count > 1) keep the
-// minimum ns/op, the conventional noise-resistant choice.
-func Parse(r io.Reader) ([]Bench, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	index := make(map[string]int)
-	var out []Bench
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var e event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("benchdiff: not a go test -json stream: %v", err)
-		}
-		if e.Action != "output" || !strings.Contains(e.Output, "ns/op") {
-			continue
-		}
-		b, ok := parseResultLine(e.Test, e.Output)
-		if !ok {
-			continue
-		}
-		if i, dup := index[b.Name]; dup {
-			if b.NsOp < out[i].NsOp {
-				out[i] = b
-			}
-			continue
-		}
-		index[b.Name] = len(out)
-		out = append(out, b)
+// renderTrajectory pivots ordered artifacts into the markdown table and
+// ASCII chart forms, shared by stdout and -out modes.
+func renderTrajectory(arts []benchfmt.Artifact) (md, chart string) {
+	revs, names, nsOp, allocsOp := benchfmt.Trajectory(arts)
+	series := make([]plot.TrajectorySeries, len(names))
+	for i, n := range names {
+		series[i] = plot.TrajectorySeries{Name: n, NsOp: nsOp[n], AllocsOp: allocsOp[n]}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(out) == 0 {
-		return nil, errors.New("benchdiff: no benchmark results found")
-	}
-	return out, nil
-}
-
-// parseResultLine parses one benchmark result payload, e.g.
-//
-//	" 7731849\t       150.8 ns/op\t      24 B/op\t       1 allocs/op\n"
-//
-// optionally prefixed with "BenchmarkName-8" when the Test field is empty.
-func parseResultLine(test, output string) (Bench, bool) {
-	fields := strings.Fields(output)
-	name := stripProcs(test)
-	start := 0
-	if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
-		if name == "" {
-			name = stripProcs(fields[0])
-		}
-		start = 1
-	}
-	if name == "" {
-		return Bench{}, false
-	}
-	b := Bench{Name: name, BytesOp: -1, AllocsOp: -1}
-	found := false
-	for i := start + 1; i < len(fields); i++ {
-		v, err := strconv.ParseFloat(fields[i-1], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i] {
-		case "ns/op":
-			b.NsOp = v
-			found = true
-		case "B/op":
-			b.BytesOp = v
-		case "allocs/op":
-			b.AllocsOp = v
-		}
-	}
-	return b, found
-}
-
-// stripProcs removes the -<GOMAXPROCS> suffix from a benchmark name.
-func stripProcs(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
+	return plot.TrajectoryMarkdown(revs, series), plot.TrajectoryChart(revs, series, 72, 16)
 }

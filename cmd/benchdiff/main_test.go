@@ -392,3 +392,57 @@ func TestSummaryModeArgErrors(t *testing.T) {
 		t.Fatal("-summary with two artifacts did not fail")
 	}
 }
+
+// TestTrajectoryMode assembles two synthetic revision artifacts and checks
+// the perf-over-time table carries both revisions' measurements.
+func TestTrajectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	old := writeStream(t, dir, "BENCH_aaa1111.json", map[string]float64{"BenchmarkFoo": 100})
+	new_ := writeStream(t, dir, "BENCH_bbb2222.json", map[string]float64{"BenchmarkFoo": 80, "BenchmarkBar": 50})
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trajectory", old, new_}, &stdout, &stderr); err != nil {
+		t.Fatalf("-trajectory failed: %v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"| benchmark | rev | ns/op | allocs/op |",
+		"| BenchmarkFoo | aaa1111 | 100.0 | 1 |",
+		"| BenchmarkFoo | bbb2222 | 80.0 | 1 |",
+		"| BenchmarkBar | aaa1111 | - | - |", // unmeasured revision renders as a gap
+		"ns/op trajectory across 2 revision(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrajectoryModeOutDir writes the report files instead of printing.
+func TestTrajectoryModeOutDir(t *testing.T) {
+	dir := t.TempDir()
+	art := writeStream(t, dir, "BENCH_aaa1111.json", map[string]float64{"BenchmarkFoo": 100})
+	outDir := filepath.Join(dir, "report")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trajectory", "-out", outDir, art}, &stdout, &stderr); err != nil {
+		t.Fatalf("-trajectory -out failed: %v\n%s", err, stderr.String())
+	}
+	for _, name := range []string{"trajectory.md", "trajectory.txt"} {
+		b, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestTrajectoryModeErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trajectory"}, &stdout, &stderr); err == nil {
+		t.Error("-trajectory without artifacts did not fail")
+	}
+	if err := run([]string{"-trajectory", "not-a-bench.json"}, &stdout, &stderr); err == nil {
+		t.Error("-trajectory with a foreign filename did not fail")
+	}
+}

@@ -1,10 +1,14 @@
 // Command mcexp regenerates the paper's evaluation artifacts: Table 1, the
 // four panels of Figures 3 and 4, the interpretation and routing ablations,
-// and the traffic-pattern and rate-heterogeneity extensions.
+// and the traffic-pattern, rate-, workload- and link-heterogeneity
+// extensions. The set of runnable experiments is the experiment manifest
+// (internal/experiments.Manifest) — the same enumeration cmd/mcrepro and
+// the CI fidelity gate consume, so the CLIs can never drift.
 //
 // Usage:
 //
-//	mcexp -exp figs                  # all four figure panels, paper scale
+//	mcexp -list                      # show every experiment
+//	mcexp -exp figs                  # Table 1 + all four figure panels
 //	mcexp -exp fig3m32 -scale quick  # one panel, ~10× cheaper simulation
 //	mcexp -exp all -out results/     # everything + CSV files
 //
@@ -18,30 +22,38 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"mcnet/internal/experiments"
 	"mcnet/internal/plot"
 	"mcnet/internal/sweep"
-	"mcnet/internal/system"
-	"mcnet/internal/units"
-	"mcnet/internal/validate"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "figs", "experiment: table1|saturation|validate|fig3m32|fig3m64|fig4m32|fig4m64|figs|ablation-icn2|ablation-routing|baseline|traffic-patterns|rate-hetero|workload|link-hetero|all")
+		exp     = flag.String("exp", "figs", "experiment name from the manifest (see -list), or a group: figs|all")
 		scale   = flag.String("scale", "paper", "simulation scale: paper|quick")
 		out     = flag.String("out", "", "directory for CSV output (optional)")
-		points  = flag.Int("points", 10, "operating points per curve")
+		points  = flag.Int("points", 0, "operating points per curve (0 = per-experiment default)")
 		reps    = flag.Int("reps", 1, "simulation replications per point")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache   = flag.String("cache", "", "directory for cross-run simulation caching (optional)")
 		width   = flag.Int("width", 72, "chart width")
 		height  = flag.Int("height", 18, "chart height")
+		list    = flag.Bool("list", false, "print the experiment manifest and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %-7s %s\n", "NAME", "KIND", "TITLE")
+		for _, e := range experiments.Manifest() {
+			fmt.Printf("%-18s %-7s %s\n", e.Name, string(e.Kind), e.Title)
+		}
+		fmt.Println("\ngroups: figs (Table 1 + the four figure panels), all (everything but the validation sweep)")
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -70,115 +82,68 @@ func main() {
 		}
 	}
 
-	run := map[string]bool{}
-	switch *exp {
+	for _, e := range selectEntries(*exp) {
+		pts := e.Points(*points)
+		start := time.Now()
+		switch {
+		case e.Figure != nil:
+			fig, err := e.Figure(runner, pts)
+			if err != nil {
+				fatalf("%s: %v", e.Name, err)
+			}
+			fmt.Println(fig.Render(*width, *height))
+			fmt.Printf("steady-state mean |analysis−simulation|/simulation = %.1f%%   (%s, %v)\n\n",
+				100*fig.SteadyStateError(), *scale, time.Since(start).Round(time.Second))
+			writeCSV(*out, e.Name, fig.Series())
+		case e.Report != nil:
+			text, err := e.Report(runner, pts)
+			if err != nil {
+				fatalf("%s: %v", e.Name, err)
+			}
+			fmt.Println(text)
+		case e.Series != nil:
+			series, err := e.Series(runner, pts)
+			if err != nil {
+				fatalf("%s: %v", e.Name, err)
+			}
+			fmt.Println(plot.ASCII(e.Title, series, *width, *height, plot.AutoCap(series)))
+			fmt.Printf("(%s, %v)\n\n", *scale, time.Since(start).Round(time.Second))
+			writeCSV(*out, e.Name, series)
+		}
+	}
+}
+
+// selectEntries expands an -exp value into manifest entries: a group name
+// or a single experiment (dash-insensitive, so the older fig3m32 spelling
+// still works).
+func selectEntries(exp string) []experiments.Entry {
+	switch exp {
 	case "all":
-		for _, e := range []string{"table1", "saturation", "fig3m32", "fig3m64", "fig4m32", "fig4m64",
-			"ablation-icn2", "ablation-routing", "baseline", "traffic-patterns", "rate-hetero", "workload", "link-hetero"} {
-			run[e] = true
+		// Everything except the validation sweep, which is a slow
+		// paper-scale diagnostic requested explicitly.
+		var out []experiments.Entry
+		for _, e := range experiments.Manifest() {
+			if e.Name != "validate" {
+				out = append(out, e)
+			}
 		}
+		return out
 	case "figs":
-		for _, e := range []string{"table1", "fig3m32", "fig3m64", "fig4m32", "fig4m64"} {
-			run[e] = true
+		var out []experiments.Entry
+		for _, name := range []string{"table1", "fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64"} {
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				fatalf("manifest is missing %q", name)
+			}
+			out = append(out, e)
 		}
+		return out
 	default:
-		run[*exp] = true
-	}
-
-	did := 0
-	figure := func(name string, f func() (experiments.Figure, error)) {
-		if !run[name] {
-			return
+		e, ok := experiments.Lookup(exp)
+		if !ok {
+			fatalf("unknown -exp %q; valid: figs, all, %s", exp, strings.Join(experiments.ManifestNames(), ", "))
 		}
-		did++
-		start := time.Now()
-		fig, err := f()
-		if err != nil {
-			fatalf("%s: %v", name, err)
-		}
-		fmt.Println(fig.Render(*width, *height))
-		fmt.Printf("steady-state mean |analysis−simulation|/simulation = %.1f%%   (%s, %v)\n\n",
-			100*fig.SteadyStateError(), *scale, time.Since(start).Round(time.Second))
-		writeCSV(*out, fig.Name, fig.Series())
-	}
-	study := func(name, title string, f func() ([]plot.Series, error)) {
-		if !run[name] {
-			return
-		}
-		did++
-		start := time.Now()
-		series, err := f()
-		if err != nil {
-			fatalf("%s: %v", name, err)
-		}
-		fmt.Println(plot.ASCII(title, series, *width, *height, plot.AutoCap(series)))
-		fmt.Printf("(%s, %v)\n\n", *scale, time.Since(start).Round(time.Second))
-		writeCSV(*out, name, series)
-	}
-
-	if run["table1"] {
-		did++
-		fmt.Println(experiments.Table1())
-	}
-	if run["saturation"] {
-		did++
-		rows, err := experiments.SaturationSummary()
-		if err != nil {
-			fatalf("saturation: %v", err)
-		}
-		fmt.Println("Saturation summary: model λ_sat vs the paper's plotted x-ranges")
-		fmt.Println(experiments.FormatSaturationSummary(rows))
-	}
-	if run["validate"] {
-		did++
-		for _, name := range []string{"org1", "org2"} {
-			org, err := system.ParseOrganization(name)
-			if err != nil {
-				fatalf("validate: %v", err)
-			}
-			rep, err := validate.Sweep(validate.Config{
-				Org: org, Par: units.Default(),
-				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain, Seed: sc.Seed,
-			}, *points, 1.0)
-			if err != nil {
-				fatalf("validate %s: %v", name, err)
-			}
-			fmt.Printf("Validation sweep — %s (M=32, Lm=256)\n%s\n", org.Name, rep)
-		}
-	}
-	figure("fig3m32", runner.Figure3M32)
-	figure("fig3m64", runner.Figure3M64)
-	figure("fig4m32", runner.Figure4M32)
-	figure("fig4m64", runner.Figure4M64)
-	study("ablation-icn2", "Ablation A: model interpretation vs simulation (Org1, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.InterpretationAblation(system.Table1Org1(), units.Default(), *points)
-		})
-	study("ablation-routing", "Ablation B: balanced vs random-up routing (Org2, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.RoutingAblation(system.Table1Org2(), units.Default(), *points)
-		})
-	study("baseline", "Baseline: wormhole-aware model vs store-and-forward M/M/1 (Org2, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.BaselineComparison(system.Table1Org2(), units.Default(), *points)
-		})
-	study("traffic-patterns", "Extension 1: traffic patterns (Org2, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.TrafficPatternStudy(system.Table1Org2(), units.Default(), *points)
-		})
-	study("rate-hetero", "Extension 2: per-cluster injection-rate heterogeneity",
-		func() ([]plot.Series, error) { return runner.RateHeterogeneityStudy(*points) })
-	study("workload", "Extension 3: bursty arrivals × message-size mixes (Org2, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.WorkloadStudy(system.Table1Org2(), units.Default(), *points)
-		})
-	study("link-hetero", "Extension 4: per-tier link technology (Org2, M=32, Lm=256)",
-		func() ([]plot.Series, error) {
-			return runner.LinkHeterogeneityStudy(system.Table1Org2(), units.Default(), *points)
-		})
-
-	if did == 0 {
-		fatalf("unknown -exp %q", *exp)
+		return []experiments.Entry{e}
 	}
 }
 

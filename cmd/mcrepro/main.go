@@ -1,0 +1,149 @@
+// Command mcrepro runs the paper-grade reproduction pipeline: every study
+// of the experiment manifest through the sweep engine into a timestamped
+// paper_runs/<stamp>/ tree, with schema-validated CSVs, model-vs-simulation
+// agreement tables (Markdown + LaTeX), rendered charts, a perf-trajectory
+// section over committed BENCH artifacts, and a machine-readable
+// report.json whose verdict gates CI.
+//
+// Usage:
+//
+//	mcrepro -small               # the CI subset: quick scale, 5-pt grids, <2 min
+//	mcrepro                      # the full paper grid at paper scale
+//	mcrepro -only fig3-m32       # one study
+//	mcrepro -resume paper_runs/2026-08-08_120000   # finish a torn run
+//	mcrepro -list                # show the manifest
+//
+// Exit status is 0 only when the pipeline completed AND the fidelity
+// verdict is "pass".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mcnet/internal/experiments"
+	"mcnet/internal/repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		small     = fs.Bool("small", false, "run the CI-sized subset (quick scale, 5-point grids)")
+		out       = fs.String("out", "paper_runs", "parent directory for run trees")
+		stamp     = fs.String("stamp", "", "run directory name (default: UTC timestamp); reuse to resume a cache")
+		resume    = fs.String("resume", "", "existing run directory to resume from its manifest")
+		threshold = fs.Float64("threshold", 0, "agreement tolerance override, e.g. 0.25 (0 = per-study default)")
+		points    = fs.Int("points", 0, "operating points per curve (0 = per-study default)")
+		scale     = fs.String("scale", "", "simulation scale: paper|quick (default: paper, or quick with -small)")
+		seed      = fs.Uint64("seed", 0, "base RNG seed override (0 = scale default)")
+		reps      = fs.Int("reps", 0, "simulation replications per point (0 = scale default)")
+		workers   = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		only      = fs.String("only", "", "comma-separated study names (default: whole manifest)")
+		bench     = fs.String("bench", "BENCH_*.json", "glob of benchmark artifacts for the perf-trajectory section")
+		list      = fs.Bool("list", false, "print the experiment manifest and exit")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		printManifest(stdout)
+		return 0
+	}
+
+	if *resume != "" {
+		rep, dir, err := repro.Resume(*resume, stderr)
+		return finish(stdout, stderr, rep, dir, err)
+	}
+
+	cfg := repro.Config{
+		Root: *out, Stamp: *stamp, Small: *small, Scale: *scale,
+		Points: *points, Threshold: *threshold, Seed: *seed, Reps: *reps,
+		Workers: *workers, Log: stderr,
+	}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				fmt.Fprintf(stderr, "mcrepro: unknown study %q (see -list)\n", name)
+				return 2
+			}
+			cfg.Only = append(cfg.Only, e.Name)
+		}
+	}
+	cfg.BenchArtifacts = benchArtifacts(*bench)
+
+	rep, dir, err := repro.Run(cfg)
+	return finish(stdout, stderr, rep, dir, err)
+}
+
+// benchArtifacts expands the BENCH glob, folding in .summary.json
+// companions, sorted for determinism.
+func benchArtifacts(glob string) []string {
+	if glob == "" {
+		return nil
+	}
+	seen := map[string]bool{}
+	var paths []string
+	for _, g := range []string{glob, strings.TrimSuffix(glob, ".json") + ".summary.json"} {
+		matches, err := filepath.Glob(g)
+		if err != nil {
+			continue
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				paths = append(paths, m)
+			}
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// finish prints the run summary and maps the outcome to an exit status.
+func finish(stdout, stderr io.Writer, rep *repro.Report, dir string, err error) int {
+	if err != nil {
+		fmt.Fprintf(stderr, "mcrepro: %v\n", err)
+		return 1
+	}
+	for _, s := range rep.Studies {
+		status := "pass"
+		if !s.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%-18s %-7s %s  (%.1fs)\n", s.Name, string(s.Kind), status, s.Seconds)
+	}
+	fmt.Fprintf(stdout, "\nrun tree: %s\nreport:   %s\nverdict:  %s\n",
+		dir, filepath.Join(dir, "analysis", "report.json"), rep.Verdict)
+	if !rep.Passed() {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(stdout, "  failure: %s\n", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// printManifest renders the experiment manifest as a table.
+func printManifest(w io.Writer) {
+	fmt.Fprintf(w, "%-18s %-7s %-6s %-6s %-6s %s\n", "NAME", "KIND", "SMALL", "GATED", "PAIRS", "TITLE")
+	for _, e := range experiments.Manifest() {
+		fmt.Fprintf(w, "%-18s %-7s %-6t %-6t %-6d %s\n",
+			e.Name, string(e.Kind), e.Small, e.Gated, len(e.Pairs), e.Title)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"fig3-m32", "link-hetero", "GATED", "table1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownStudyExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "no-such-study"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown -only study exited %d, want 2", code)
+	}
+}
+
+// TestSmallRunPassesAndThresholdFlips runs one cheap gated study end to
+// end: at the default tolerance the exit status is 0 and the tree is
+// complete; with an absurdly tight -threshold the same study flips the
+// verdict to fail and the exit status to 1.
+func TestSmallRunPassesAndThresholdFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	root := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-small", "-out", root, "-stamp", "pass", "-only", "rate-hetero", "-bench", ""},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("passing run exited %d:\n%s\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "verdict:  pass") {
+		t.Errorf("summary missing pass verdict:\n%s", stdout.String())
+	}
+	for _, rel := range []string{"manifest.json", "STATUS", "csv/rate-hetero.csv", "analysis/report.json"} {
+		if _, err := os.Stat(filepath.Join(root, "pass", rel)); err != nil {
+			t.Errorf("run tree missing %s: %v", rel, err)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	// Same study, tolerance far below any real agreement: the gate must
+	// flip to a nonzero exit. The simulation cache from the passing run is
+	// reused via the same stamp, so this costs no extra simulation time.
+	code = run([]string{"-small", "-out", root, "-stamp", "pass", "-only", "rate-hetero",
+		"-threshold", "0.000001", "-bench", ""}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("tight-threshold run exited %d, want 1:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "exceeds tolerance") {
+		t.Errorf("failure summary missing tolerance message:\n%s", stdout.String())
+	}
+}
+
+func TestBenchArtifactsGlob(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_abc.json", "BENCH_abc.summary.json", "BENCH_def.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := benchArtifacts(filepath.Join(dir, "BENCH_*.json"))
+	if len(got) != 3 {
+		t.Errorf("glob matched %v, want the three BENCH artifacts", got)
+	}
+	if benchArtifacts("") != nil {
+		t.Error("empty glob should disable the trajectory section")
+	}
+}

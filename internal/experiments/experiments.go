@@ -87,6 +87,12 @@ type Runner struct {
 	// Cache, if non-nil, caches simulation outcomes across runs (see
 	// sweep.NewDirCache); repeated figures then cost only the cache misses.
 	Cache sweep.Cache
+	// ExtraSinks, if non-nil, is consulted for every sweep spec an
+	// experiment executes; the returned sinks receive that sweep's results
+	// in job order alongside the internal in-memory collection. The
+	// reproduction pipeline (internal/repro) uses it to persist each study's
+	// raw sweep rows into the run directory.
+	ExtraSinks func(spec sweep.Spec) []sweep.Sink
 }
 
 // NewRunner returns a Runner with the calibrated model options.
@@ -132,7 +138,11 @@ func (r Runner) simSpec(name string, org system.Organization, par units.Params, 
 // in job order.
 func (r Runner) runSweep(spec sweep.Spec) ([]sweep.Result, error) {
 	mem := &sweep.MemorySink{}
-	eng := &sweep.Engine{Workers: r.Workers, Cache: r.Cache, Sinks: []sweep.Sink{mem}}
+	sinks := []sweep.Sink{mem}
+	if r.ExtraSinks != nil {
+		sinks = append(sinks, r.ExtraSinks(spec)...)
+	}
+	eng := &sweep.Engine{Workers: r.Workers, Cache: r.Cache, Sinks: sinks}
 	if _, err := eng.Run(spec); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden files pin the exact rendered output of the table and chart
+// renderers the reproduction pipeline embeds in its run trees. Regenerate
+// deliberately with:
+//
+//	go test ./internal/plot -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func agreementFixture() []AgreementRow {
+	return []AgreementRow{
+		{Study: "fig3-m32", Pair: "analysis Lm=256 vs simulation Lm=256",
+			Points: 7, MeanRelErr: 0.042, MaxRelErr: 0.101, Tolerance: 0.25, Pass: true},
+		{Study: "fig3-m32", Pair: "analysis Lm=512 vs simulation Lm=512",
+			Points: 5, MeanRelErr: 0.088, MaxRelErr: 0.240, Tolerance: 0.25, Pass: true},
+		{Study: "workload", Pair: "analysis poisson/fixed vs sim poisson/fixed",
+			Points: 4, MeanRelErr: 0.31, MaxRelErr: 0.52, Tolerance: 0.25, Pass: false},
+		{Study: "link-hetero", Pair: "analysis slow icn2 vs sim slow icn2",
+			Points: 0, MeanRelErr: math.NaN(), MaxRelErr: math.NaN(), Tolerance: 0.25, Pass: false},
+	}
+}
+
+func TestGoldenAgreementMarkdown(t *testing.T) {
+	checkGolden(t, "agreement_md", AgreementMarkdown(agreementFixture()))
+}
+
+func TestGoldenAgreementLaTeX(t *testing.T) {
+	checkGolden(t, "agreement_tex", AgreementLaTeX(agreementFixture()))
+}
+
+func TestGoldenLaTeXEscaping(t *testing.T) {
+	got := LaTeX("Caption with % and _underscores_.",
+		[]string{"name", "value"},
+		[][]string{
+			{"a&b", "100%"},
+			{"under_score", "$5 {braces} #1 ~x ^y \\cmd"},
+		})
+	checkGolden(t, "latex_escape", got)
+}
+
+func trajectoryFixture() ([]string, []TrajectorySeries) {
+	nan := math.NaN()
+	revs := []string{"a1b2c3d", "e4f5a6b", "c7d8e9f"}
+	series := []TrajectorySeries{
+		{Name: "AnalyzeGrid", NsOp: []float64{1200, 950, 980}, AllocsOp: []float64{12, 0, 0}},
+		{Name: "SimulateStep", NsOp: []float64{nan, 540.5, 600.25}, AllocsOp: []float64{nan, 3, 3}},
+	}
+	return revs, series
+}
+
+func TestGoldenTrajectoryMarkdown(t *testing.T) {
+	revs, series := trajectoryFixture()
+	checkGolden(t, "trajectory_md", TrajectoryMarkdown(revs, series))
+}
+
+func TestGoldenTrajectoryChart(t *testing.T) {
+	revs, series := trajectoryFixture()
+	checkGolden(t, "trajectory_chart", TrajectoryChart(revs, series, 60, 12))
+}
+
+func TestGoldenMarkdownRaggedRows(t *testing.T) {
+	got := Markdown([]string{"a", "b", "c"}, [][]string{
+		{"1", "2", "3"},
+		{"only-a"},
+		{"x", "y", "z", "dropped"},
+	})
+	checkGolden(t, "markdown_ragged", got)
+}

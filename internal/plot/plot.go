@@ -178,6 +178,11 @@ func sanitize(s string) string {
 	return strings.NewReplacer(",", ";", "\n", " ").Replace(s)
 }
 
+// SanitizeLabel is the header transformation CSV applies to series labels
+// (commas and newlines are not representable); validators that check a
+// written file against declared labels must apply the same mapping.
+func SanitizeLabel(s string) string { return sanitize(s) }
+
 // MarkdownTable renders the series as a markdown table with one row per x.
 func MarkdownTable(series []Series) string {
 	if len(series) == 0 {

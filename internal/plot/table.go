@@ -1,0 +1,192 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Markdown renders a generic header+rows table as GitHub-flavored markdown.
+func Markdown(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("|")
+	for _, h := range headers {
+		fmt.Fprintf(&b, " %s |", h)
+	}
+	b.WriteString("\n|")
+	for range headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		b.WriteString("|")
+		for i := range headers {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, " %s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// latexEscape guards the characters LaTeX treats specially in table cells.
+var latexEscape = strings.NewReplacer(
+	"\\", "\\textbackslash{}", "&", "\\&", "%", "\\%", "$", "\\$",
+	"#", "\\#", "_", "\\_", "{", "\\{", "}", "\\}",
+	"~", "\\textasciitilde{}", "^", "\\textasciicircum{}",
+)
+
+// LaTeX renders a header+rows table as a paper-ready tabular environment.
+// Cell content is escaped; the caption may be empty.
+func LaTeX(caption string, headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("\\begin{table}[t]\n\\centering\n")
+	if caption != "" {
+		fmt.Fprintf(&b, "\\caption{%s}\n", latexEscape.Replace(caption))
+	}
+	fmt.Fprintf(&b, "\\begin{tabular}{%s}\n\\hline\n", strings.Repeat("l", len(headers)))
+	cells := make([]string, len(headers))
+	for i, h := range headers {
+		cells[i] = latexEscape.Replace(h)
+	}
+	b.WriteString(strings.Join(cells, " & ") + " \\\\\n\\hline\n")
+	for _, row := range rows {
+		for i := range headers {
+			cells[i] = ""
+			if i < len(row) {
+				cells[i] = latexEscape.Replace(row[i])
+			}
+		}
+		b.WriteString(strings.Join(cells, " & ") + " \\\\\n")
+	}
+	b.WriteString("\\hline\n\\end{tabular}\n\\end{table}\n")
+	return b.String()
+}
+
+// AgreementRow is one model-vs-simulation agreement measurement: a study's
+// analysis/simulation series pair with its relative-error summary over the
+// steady-state region (see internal/repro for the metric definition).
+type AgreementRow struct {
+	Study string
+	Pair  string
+	// Points is the number of steady-state grid points the errors are
+	// computed over.
+	Points int
+	// MeanRelErr and MaxRelErr are the mean and maximum of
+	// |analysis−simulation|/simulation over those points.
+	MeanRelErr float64
+	MaxRelErr  float64
+	// Tolerance is the gate bound on MeanRelErr; Pass reports the verdict.
+	Tolerance float64
+	Pass      bool
+}
+
+// agreementCells renders one row's cells, shared by both table forms.
+func agreementCells(r AgreementRow) []string {
+	pct := func(v float64) string {
+		if math.IsNaN(v) {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*v)
+	}
+	verdict := "pass"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return []string{
+		r.Study, r.Pair, fmt.Sprintf("%d", r.Points),
+		pct(r.MeanRelErr), pct(r.MaxRelErr), pct(r.Tolerance), verdict,
+	}
+}
+
+// agreementHeaders is the column list of the agreement tables.
+var agreementHeaders = []string{
+	"study", "pair", "points", "mean rel err", "max rel err", "tolerance", "verdict",
+}
+
+// AgreementMarkdown renders agreement rows as a markdown table.
+func AgreementMarkdown(rows []AgreementRow) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = agreementCells(r)
+	}
+	return Markdown(agreementHeaders, cells)
+}
+
+// AgreementLaTeX renders agreement rows as a paper-ready LaTeX table.
+func AgreementLaTeX(rows []AgreementRow) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = agreementCells(r)
+	}
+	return LaTeX("Model-vs-simulation agreement (mean relative error over the steady-state region).",
+		agreementHeaders, cells)
+}
+
+// TrajectorySeries is one benchmark's measurements across an ordered set of
+// revisions. Slices are aligned with the revision list; NaN marks a revision
+// the benchmark was not measured at.
+type TrajectorySeries struct {
+	Name     string
+	NsOp     []float64
+	AllocsOp []float64
+}
+
+// TrajectoryMarkdown renders a perf-over-time table: one row per benchmark ×
+// revision with ns/op and allocs/op, oldest revision first.
+func TrajectoryMarkdown(revs []string, series []TrajectorySeries) string {
+	headers := []string{"benchmark", "rev", "ns/op", "allocs/op"}
+	var rows [][]string
+	for _, s := range series {
+		for i, rev := range revs {
+			ns, allocs := "-", "-"
+			if i < len(s.NsOp) && !math.IsNaN(s.NsOp[i]) {
+				ns = fmt.Sprintf("%.1f", s.NsOp[i])
+			}
+			if i < len(s.AllocsOp) && !math.IsNaN(s.AllocsOp[i]) {
+				allocs = fmt.Sprintf("%.0f", s.AllocsOp[i])
+			}
+			rows = append(rows, []string{s.Name, rev, ns, allocs})
+		}
+	}
+	return Markdown(headers, rows)
+}
+
+// TrajectoryChart renders the benchmarks' ns/op over revisions as one ASCII
+// chart. Each series is normalized to its earliest measurement (y = ratio,
+// 1.0 = no change), so benchmarks of very different absolute cost share one
+// scale; x is the revision index in the given order.
+func TrajectoryChart(revs []string, series []TrajectorySeries, width, height int) string {
+	plotted := make([]Series, 0, len(series))
+	for _, s := range series {
+		base := math.NaN()
+		for _, v := range s.NsOp {
+			if !math.IsNaN(v) && v > 0 {
+				base = v
+				break
+			}
+		}
+		if math.IsNaN(base) {
+			continue
+		}
+		xs := make([]float64, len(revs))
+		ys := make([]float64, len(revs))
+		for i := range revs {
+			xs[i] = float64(i)
+			if i < len(s.NsOp) {
+				ys[i] = s.NsOp[i] / base
+			} else {
+				ys[i] = math.NaN()
+			}
+		}
+		plotted = append(plotted, Series{Label: s.Name, X: xs, Y: ys})
+	}
+	title := fmt.Sprintf("ns/op trajectory across %d revision(s), normalized to each benchmark's first measurement", len(revs))
+	var b strings.Builder
+	b.WriteString(ASCII(title, plotted, width, height, 0))
+	fmt.Fprintf(&b, "%10s  x-axis: revision order (oldest→newest): %s\n", "", strings.Join(revs, " "))
+	return b.String()
+}

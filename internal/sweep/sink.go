@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strconv"
 )
 
@@ -125,6 +127,34 @@ func (s *JSONLSink) Write(r Result) error {
 
 // Flush drains the buffer to the underlying writer.
 func (s *JSONLSink) Flush() error { return s.w.Flush() }
+
+// NewSpecCSVSink creates <dir>/<spec.Name>.csv and returns a CSV sink
+// configured with the spec's schema (the workload and links columns appear
+// exactly when the spec sweeps those axes, as in cmd/mcsweep), plus a close
+// function that flushes the sink and closes the file. The reproduction
+// pipeline uses it to capture every study's raw sweep rows inside the run
+// directory, so a run tree carries the full evidence behind its figures.
+func NewSpecCSVSink(dir string, spec Spec) (*CSVSink, func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	spec = spec.Normalized()
+	f, err := os.Create(filepath.Join(dir, spec.Name+".csv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := NewCSVSink(f)
+	sink.Workload = spec.HasWorkloadAxes()
+	sink.Links = spec.HasLinkAxis()
+	closeFn := func() error {
+		ferr := sink.Flush()
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}
+	return sink, closeFn, nil
+}
 
 // MemorySink collects every result in job order, for callers (like the
 // experiments package) that post-process a sweep in memory.
