@@ -35,23 +35,24 @@ import (
 
 func main() {
 	var (
-		orgSpec = flag.String("org", "org1", `organization: org1|org2|"m=<ports>:<count>x<levels>[@rate],..."`)
-		mFlits  = flag.Int("m", 32, "message length M in flits")
-		lm      = flag.Int("lm", 256, "flit length L_m in bytes")
-		lambda  = flag.Float64("lambda", 1e-4, "offered traffic λ_g (messages/node/time-unit)")
-		warmup  = flag.Int("warmup", 10000, "warm-up messages (discarded)")
-		measure = flag.Int("measure", 100000, "measured messages")
-		drain   = flag.Int("drain", 10000, "drain messages (generated, not measured)")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		reps    = flag.Int("reps", 1, "independent replications (seeds seed..seed+reps-1)")
-		pattern = flag.String("pattern", "uniform", "traffic: uniform|hotspot:<frac>|local:<frac>")
-		mode    = flag.String("routing", "balanced", "ascent discipline: balanced|random")
-		arrival = flag.String("arrival", "poisson", "arrival process: poisson|deterministic|mmpp:<peak>:<burst>")
-		sizes   = flag.String("sizes", "fixed", "message lengths: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>")
-		links   = flag.String("links", "uniform", "per-tier link technology: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc")
-		record  = flag.String("record", "", "record the generation stream to this trace file (JSONL)")
-		replay  = flag.String("replay", "", "replay a recorded trace instead of generating (ignores workload flags)")
-		verbose = flag.Bool("v", false, "print per-cluster statistics")
+		orgSpec  = flag.String("org", "org1", `organization: org1|org2|"m=<ports>:<count>x<levels>[@rate],..."`)
+		topoAxis = flag.String("topo", "", `topology "<cluster>[+<global>]" applied over the org: fattree|jellyfish[.s<seed>], +dragonfly for ICN2`)
+		mFlits   = flag.Int("m", 32, "message length M in flits")
+		lm       = flag.Int("lm", 256, "flit length L_m in bytes")
+		lambda   = flag.Float64("lambda", 1e-4, "offered traffic λ_g (messages/node/time-unit)")
+		warmup   = flag.Int("warmup", 10000, "warm-up messages (discarded)")
+		measure  = flag.Int("measure", 100000, "measured messages")
+		drain    = flag.Int("drain", 10000, "drain messages (generated, not measured)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		reps     = flag.Int("reps", 1, "independent replications (seeds seed..seed+reps-1)")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform|hotspot:<frac>|local:<frac>")
+		mode     = flag.String("routing", "balanced", "ascent discipline: balanced|random")
+		arrival  = flag.String("arrival", "poisson", "arrival process: poisson|deterministic|mmpp:<peak>:<burst>")
+		sizes    = flag.String("sizes", "fixed", "message lengths: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>")
+		links    = flag.String("links", "uniform", "per-tier link technology: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc")
+		record   = flag.String("record", "", "record the generation stream to this trace file (JSONL)")
+		replay   = flag.String("replay", "", "replay a recorded trace instead of generating (ignores workload flags)")
+		verbose  = flag.Bool("v", false, "print per-cluster statistics")
 	)
 	flag.Parse()
 
@@ -78,6 +79,11 @@ func main() {
 		org, err = system.ParseOrganization(*orgSpec)
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if *topoAxis != "" {
+			if err := system.ApplyTopologyAxis(&org, *topoAxis); err != nil {
+				fatalf("%v", err)
+			}
 		}
 		par := units.Default().WithMessage(*mFlits, *lm)
 		if par.Tiers, err = units.ParseTiers(*links); err != nil {

@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		arrivals  = fs.String("arrivals", "", "override spec arrival axis (comma-separated: poisson|deterministic|mmpp:<peak>:<burst>)")
 		sizes     = fs.String("sizes", "", "override spec size axis (comma-separated: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>)")
 		links     = fs.String("links", "", "override spec link-technology axis (comma-separated: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc)")
+		topos     = fs.String("topos", "", "override spec topology axis (comma-separated: fattree|jellyfish[.s<seed>], optionally +fattree|+dragonfly for ICN2)")
 		verbose   = fs.Bool("v", false, "print one line per job as it finishes instead of the progress ticker")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *links != "" {
 		spec.Links = strings.Split(*links, ",")
+	}
+	if *topos != "" {
+		spec.Topologies = strings.Split(*topos, ",")
 	}
 	spec = spec.Normalized()
 
@@ -163,10 +167,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer jsonlFile.Close()
 	csvSink := sweep.NewCSVSink(csvFile)
-	// The workload and links columns appear only when the spec actually
-	// sweeps those axes, so older specs keep their CSV schema.
+	// The workload, links and topology columns appear only when the spec
+	// actually sweeps those axes, so older specs keep their CSV schema.
 	csvSink.Workload = spec.HasWorkloadAxes()
 	csvSink.Links = spec.HasLinkAxis()
+	csvSink.Topology = spec.HasTopologyAxis()
 	jsonlSink := sweep.NewJSONLSink(jsonlFile)
 
 	start := time.Now()

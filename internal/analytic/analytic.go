@@ -129,12 +129,27 @@ type Model struct {
 	Par units.Params
 	Opt Options
 
-	probJ [][]float64 // per cluster: P(j, n_i), index j
-	dAvg  []float64   // per cluster: d_avg
+	probJ [][]float64 // per cluster: ECN1 tree P(j, n_i), index j
+	dAvg  []float64   // per cluster: ECN1 tree d_avg
 	pOut  []float64   // per cluster: Eq. 13
-	probH []float64   // ICN2 NCA-level distribution
-	dICN2 float64     // Σ 2h·P(h)
-	hOf   [][]int     // exact ICN2 NCA level per cluster pair
+	// ICN1 structural quantities come from the cluster's topology plugin:
+	// distI1[i][d] is the probability an intra route crosses d channels,
+	// dAvgI1 its mean, and etaChI1 the η normalization channel count. For
+	// the default fat tree distI1[i][2j] == probJ[i][j] (odd entries zero)
+	// and etaChI1 == n_i·N_i, so the evaluation reproduces the pre-plugin
+	// j-indexed form bit for bit.
+	distI1  [][]float64
+	dAvgI1  []float64
+	etaChI1 []float64
+	// ICN2 structural quantities come from the global interconnect plugin:
+	// dist2[d] is the route-length distribution over ordered cluster pairs
+	// (for a fat-tree ICN2, the NCA distribution re-indexed at d = 2h),
+	// dICN2 its mean, c2 the η normalization per terminal (= n_c for
+	// trees), and dOf the exact per-pair route length (ExactICN2Pairs).
+	dist2 []float64
+	dICN2 float64
+	c2    float64
+	dOf   [][]int
 
 	// Tier-resolved connection service times (Eqs. 14–15 evaluated per
 	// network): per source cluster for ICN1/ECN1, global for the ICN2 switch
@@ -163,6 +178,9 @@ func New(sys *system.System, par units.Params, opt Options) (*Model, error) {
 	m.probJ = make([][]float64, sys.C())
 	m.dAvg = make([]float64, sys.C())
 	m.pOut = make([]float64, sys.C())
+	m.distI1 = make([][]float64, sys.C())
+	m.dAvgI1 = make([]float64, sys.C())
+	m.etaChI1 = make([]float64, sys.C())
 	m.tcnI1 = make([]float64, sys.C())
 	m.tcsI1 = make([]float64, sys.C())
 	m.mtcnI1 = make([]float64, sys.C())
@@ -177,6 +195,10 @@ func New(sys *system.System, par units.Params, opt Options) (*Model, error) {
 		m.probJ[i] = shape.ProbJ()
 		m.dAvg[i] = shape.AvgDistance()
 		m.pOut[i] = sys.POut(i)
+		net := sys.Clusters[i].Net
+		m.distI1[i] = net.RouteDist()
+		m.dAvgI1[i] = net.AvgDistance()
+		m.etaChI1[i] = net.EtaChannels()
 		icn1 := par.ICN1Class()
 		if c := sys.Clusters[i].ICN1; c != nil {
 			icn1 = *c
@@ -199,16 +221,17 @@ func New(sys *system.System, par units.Params, opt Options) (*Model, error) {
 	m.tcsConc = par.ConcClass().Tcs(par.FlitBytes)
 	m.mtcsConc = flits * m.tcsConc
 	m.hetero = !par.Tiers.Homogeneous() || sys.LinkHeterogeneous()
-	m.probH = sys.ICN2ProbH()
-	for h, p := range m.probH {
-		m.dICN2 += 2 * float64(h) * p
+	m.dist2 = sys.ICN2RouteDist()
+	for d, p := range m.dist2 {
+		m.dICN2 += float64(d) * p
 	}
-	m.hOf = make([][]int, sys.C())
-	for i := range m.hOf {
-		m.hOf[i] = make([]int, sys.C())
-		for v := range m.hOf[i] {
+	m.c2 = sys.ICN2Net.EtaChannels() / float64(sys.ICN2Net.Nodes())
+	m.dOf = make([][]int, sys.C())
+	for i := range m.dOf {
+		m.dOf[i] = make([]int, sys.C())
+		for v := range m.dOf[i] {
 			if v != i {
-				m.hOf[i][v] = sys.ICN2.NCALevel(i, v)
+				m.dOf[i][v] = sys.ICN2Net.RouteLen(i, v)
 			}
 		}
 	}
@@ -341,30 +364,35 @@ type intraResult struct {
 
 // intraCluster evaluates the intra-cluster (ICN1) journey of source cluster i
 // at per-node rate lamI: the whole journey stays inside cluster i's ICN1, so
-// every stage uses that network's link class.
+// every stage uses that network's link class. The journey-length mix comes
+// from the topology's route distribution — a route of d channels has d−1
+// blocking stages and a tail pipeline of d−2 switch links plus the final
+// node link, which for the fat tree (d = 2j) is exactly the paper's Eqs.
+// 24–25 and for other topologies the same stage equations over their own
+// distance distribution.
 func (m *Model) intraCluster(i int, lamI float64) intraResult {
 	cl := &m.Sys.Clusters[i]
-	ni := cl.Levels
 	nNodes := float64(cl.Nodes)
 	f := m.Opt.ChannelFactor
 	mtcnI1, mtcsI1 := m.mtcnI1[i], m.mtcsI1[i]
 	tcnI1, tcsI1 := m.tcnI1[i], m.tcsI1[i]
 	lamI1 := nNodes * (1 - m.pOut[i]) * lamI // Eq. 5
-	etaI1 := m.dAvg[i] * lamI1 / (f * float64(ni) * nNodes)
+	etaI1 := m.dAvgI1[i] * lamI1 / (f * m.etaChI1[i])
+	dist := m.distI1[i]
 	var res intraResult
-	for j := 1; j <= ni; j++ {
-		pj := m.probJ[i][j]
-		if pj == 0 {
+	for d := 2; d < len(dist); d++ {
+		pd := dist[d]
+		if pd == 0 {
 			continue
 		}
-		s0, ok := chainService(2*j-1, func(int) float64 { return etaI1 },
+		s0, ok := chainService(d-1, func(int) float64 { return etaI1 },
 			func(int) float64 { return mtcsI1 }, mtcnI1)
 		if !ok {
 			res.sat = satChainI1
 			return res
 		}
-		res.s += pj * s0
-		res.r += pj * (float64(2*j-2)*tcsI1 + tcnI1)
+		res.s += pd * s0
+		res.r += pd * (float64(d-2)*tcsI1 + tcnI1)
 	}
 	sigma2 := sq(res.s - mtcnI1) // Eq. 22
 	lamSrcI1 := (1 - m.pOut[i]) * lamI
@@ -402,44 +430,44 @@ func (m *Model) interPair(i, v int, lamI float64, outRate, inRate []float64) pai
 	f := m.Opt.ChannelFactor
 	n := float64(sys.TotalNodes())
 	c := sys.C()
-	nc := float64(sys.ICN2.Levels())
 	mtcsE1i := m.mtcsE1[i]
 	mtcnE1v, mtcsE1v := m.mtcnE1[v], m.mtcsE1[v]
 	lamE1 := outRate[i] + outRate[v] // Eq. 6
 	etaE1 := m.dAvg[i] * lamE1 / (f * float64(ni) * nNodes)
 	// Eq. 7: pair-extrapolated total ICN2 load; Eq. 12 normalization per
-	// Options.
+	// Options. c2 is the interconnect's η channel count per terminal — the
+	// tree level count n_c of the paper's Eq. 12, generalized.
 	lamI2Total := lamE1 * n / (nNodes + float64(clv.Nodes))
 	lamI2PerConc := lamI2Total / float64(c)
 	var etaI2 float64
 	if m.Opt.ICN2PaperLiteral {
-		etaI2 = lamI2Total * m.dICN2 / (f * nc)
+		etaI2 = lamI2Total * m.dICN2 / (f * m.c2)
 	} else {
-		etaI2 = lamI2PerConc * m.dICN2 / (f * nc)
+		etaI2 = lamI2PerConc * m.dICN2 / (f * m.c2)
 	}
 
 	var pr pairResult
 	var se, re float64
-	forEachJLH(m, i, v, func(j, l, h int, p float64) bool {
-		k := j + l + 2*h - 1
+	forEachJLD(m, i, v, func(j, l, d2 int, p float64) bool {
+		k := j + l + d2 - 1
 		s0, ok := chainService(k, func(stage int) float64 {
-			// Eq. 29: ICN2 stages sit between the ascent (j−1 switch-switch
-			// hops) and the final descent.
-			if stage >= j-1 && stage < j+2*h-1 {
+			// Eq. 29: the d2 ICN2 stages sit between the ascent (j−1
+			// switch-switch hops) and the final descent.
+			if stage >= j-1 && stage < j+d2-1 {
 				return etaI2
 			}
 			return etaE1
 		}, func(stage int) float64 {
-			// Tier-indexed Eq. 16 service: stages j−1 and j+2h−2 are the
+			// Tier-indexed Eq. 16 service: stages j−1 and j+d2−2 are the
 			// concentrator↔ICN2 entry/exit links, the stages between them
 			// ICN2 switch links, everything before the source ECN1,
 			// everything after the destination ECN1.
 			switch {
 			case stage < j-1:
 				return mtcsE1i
-			case stage == j-1 || stage == j+2*h-2:
+			case stage == j-1 || stage == j+d2-2:
 				return m.mtcsConc
-			case stage < j+2*h-1:
+			case stage < j+d2-1:
 				return m.mtcsI2
 			default:
 				return mtcsE1v
@@ -456,7 +484,7 @@ func (m *Model) interPair(i, v int, lamI float64, outRate, inRate []float64) pai
 		// evaluation order (and its results) is unchanged.
 		if m.hetero {
 			re += p * (float64(j-1)*m.tcsE1[i] + 2*m.tcsConc +
-				float64(2*h-2)*m.tcsI2 + float64(l-1)*m.tcsE1[v] + m.tcnE1[v])
+				float64(d2-2)*m.tcsI2 + float64(l-1)*m.tcsE1[v] + m.tcnE1[v])
 		} else {
 			re += p * (float64(k-1)*m.tcsE1[i] + m.tcnE1[v])
 		}
@@ -620,10 +648,13 @@ func (m *Model) evaluate(lambdaG float64, g *Grid) (Result, error) {
 	return res, nil
 }
 
-// forEachJLH iterates the (j, l, h) journey-shape distribution of an
-// inter-cluster message from i to v with its probability (Eq. 27), honoring
-// the ExactICN2Pairs option. The callback returns false to stop early.
-func forEachJLH(m *Model, i, v int, fn func(j, l, h int, p float64) bool) {
+// forEachJLD iterates the (j, l, d₂) journey-shape distribution of an
+// inter-cluster message from i to v with its probability (Eq. 27): ECN1
+// ascent height j, descent height l, and ICN2 route length d₂ (2h for a
+// fat-tree ICN2, whose distribution makes this the paper's (j, l, h)
+// enumeration verbatim), honoring the ExactICN2Pairs option. The callback
+// returns false to stop early.
+func forEachJLD(m *Model, i, v int, fn func(j, l, d2 int, p float64) bool) {
 	pj := m.probJ[i]
 	pl := m.probJ[v]
 	for j := 1; j < len(pj); j++ {
@@ -635,16 +666,16 @@ func forEachJLH(m *Model, i, v int, fn func(j, l, h int, p float64) bool) {
 				continue
 			}
 			if m.Opt.ExactICN2Pairs {
-				if !fn(j, l, m.hOf[i][v], pj[j]*pl[l]) {
+				if !fn(j, l, m.dOf[i][v], pj[j]*pl[l]) {
 					return
 				}
 				continue
 			}
-			for h := 1; h < len(m.probH); h++ {
-				if m.probH[h] == 0 {
+			for d2 := 2; d2 < len(m.dist2); d2++ {
+				if m.dist2[d2] == 0 {
 					continue
 				}
-				if !fn(j, l, h, pj[j]*pl[l]*m.probH[h]) {
+				if !fn(j, l, d2, pj[j]*pl[l]*m.dist2[d2]) {
 					return
 				}
 			}

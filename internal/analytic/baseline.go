@@ -26,11 +26,18 @@ type Baseline struct {
 	Sys *system.System
 	Par units.Params
 
-	probJ [][]float64
-	dAvg  []float64
-	pOut  []float64
-	probH []float64
+	dAvg []float64 // ECN1 tree average distance (inter legs)
+	pOut []float64
+	// Intra quantities come from the cluster's ICN1 topology; for the
+	// default fat tree they reduce to the tree's P(j) re-indexed at d = 2j.
+	distI1  [][]float64
+	dAvgI1  []float64
+	etaChI1 []float64
+	// ICN2 route-length distribution, its mean, and the η normalization
+	// (tree level count n_c generalized to EtaChannels per terminal).
+	dist2 []float64
 	dC    float64
+	c2    float64
 }
 
 // NewBaseline builds the baseline model for a system.
@@ -40,15 +47,18 @@ func NewBaseline(sys *system.System, par units.Params) (*Baseline, error) {
 	}
 	b := &Baseline{Sys: sys, Par: par}
 	for i := range sys.Clusters {
-		shape := sys.Clusters[i].Shape
-		b.probJ = append(b.probJ, shape.ProbJ())
-		b.dAvg = append(b.dAvg, shape.AvgDistance())
+		cl := &sys.Clusters[i]
+		b.dAvg = append(b.dAvg, cl.Shape.AvgDistance())
 		b.pOut = append(b.pOut, sys.POut(i))
+		b.distI1 = append(b.distI1, cl.Net.RouteDist())
+		b.dAvgI1 = append(b.dAvgI1, cl.Net.AvgDistance())
+		b.etaChI1 = append(b.etaChI1, cl.Net.EtaChannels())
 	}
-	b.probH = sys.ICN2ProbH()
-	for h, p := range b.probH {
-		b.dC += 2 * float64(h) * p
+	b.dist2 = sys.ICN2RouteDist()
+	for d, p := range b.dist2 {
+		b.dC += float64(d) * p
 	}
+	b.c2 = sys.ICN2Net.EtaChannels() / float64(sys.ICN2Net.Nodes())
 	return b, nil
 }
 
@@ -82,13 +92,13 @@ func (b *Baseline) MeanLatency(lambdaG float64) (float64, error) {
 		ni := float64(cl.Levels)
 		nn := float64(cl.Nodes)
 
-		// Intra path: 2j store-and-forward hops, node links at the ends.
-		etaI1 := nn * (1 - b.pOut[i]) * lam * b.dAvg[i] / (2 * ni * nn)
+		// Intra path: d store-and-forward hops, node links at the ends.
+		etaI1 := nn * (1 - b.pOut[i]) * lam * b.dAvgI1[i] / (2 * b.etaChI1[i])
 		var tIntra float64
 		intraOK := true
-		for j := 1; j < len(b.probJ[i]); j++ {
-			pj := b.probJ[i][j]
-			if pj == 0 {
+		for d := 2; d < len(b.distI1[i]); d++ {
+			pd := b.distI1[i][d]
+			if pd == 0 {
 				continue
 			}
 			nodeHop, err1 := hopSojourn(etaI1, mtcn)
@@ -97,7 +107,7 @@ func (b *Baseline) MeanLatency(lambdaG float64) (float64, error) {
 				intraOK = false
 				break
 			}
-			tIntra += pj * (2*nodeHop + float64(2*j-2)*swHop)
+			tIntra += pd * (2*nodeHop + float64(d-2)*swHop)
 		}
 
 		// Inter path: n_i+1 hops up, 2h across, n_v+1 hops down, averaged
@@ -112,7 +122,7 @@ func (b *Baseline) MeanLatency(lambdaG float64) (float64, error) {
 			lamE := nn*b.pOut[i]*lam + float64(clv.Nodes)*b.pOut[v]*lambdaG*clv.RateFactor
 			etaE := lamE * b.dAvg[i] / (2 * ni * nn)
 			etaI2 := lamE * n / (nn + float64(clv.Nodes)) / float64(c) * b.dC /
-				(2 * float64(sys.ICN2.Levels()))
+				(2 * b.c2)
 			nodeHop, err1 := hopSojourn(etaE, mtcn)
 			swHopE, err2 := hopSojourn(etaE, mtcs)
 			swHop2, err3 := hopSojourn(etaI2, mtcs)

@@ -21,6 +21,9 @@ type Grid struct {
 
 	// Per-point scratch, reused across Evaluate calls.
 	lam, outRate, inRate []float64
+	// topoID caches each cluster's intra-topology identity string for the
+	// memo keys (built once; Spec.String allocates).
+	topoID []string
 
 	// Per-point memos, cleared by beginPoint. The keys embed every
 	// λ-dependent input as raw float bits, so entries never leak between
@@ -31,10 +34,13 @@ type Grid struct {
 
 // intraKey captures every input of Model.intraCluster that can differ
 // between clusters: the tree shape (levels; ports are model-global and
-// determine probJ and dAvg together with levels), the cluster size (which
-// determines P_o), the per-node rate, and the cluster's ICN1 link class.
+// determine probJ and dAvg together with levels), the ICN1 topology (two
+// same-shaped clusters may run different intra networks), the cluster size
+// (which determines P_o), the per-node rate, and the cluster's ICN1 link
+// class.
 type intraKey struct {
 	levels, nodes int32
+	topo          string
 	pOut          uint64
 	lam           uint64
 	tcnI1, tcsI1  uint64
@@ -43,11 +49,13 @@ type intraKey struct {
 // pairKey captures every input of Model.interPair that can differ between
 // (source, destination) pairs: both shapes and sizes, the source rate and
 // ECN1 class, the destination ECN1 class, the pair's λ-dependent aggregate
-// rates, and — under ExactICN2Pairs — the pair's NCA level (h is -1 when the
-// averaged P(h) distribution is in effect, which is pair-independent).
+// rates, and — under ExactICN2Pairs — the pair's ICN2 route length (d2 is
+// -1 when the averaged distribution is in effect, which is
+// pair-independent). The ECN1 legs are always trees and the global
+// interconnect is model-global, so no topology identity is needed here.
 type pairKey struct {
 	lvI, lvV, nI, nV int32
-	h                int32
+	d2               int32
 	pOutI            uint64
 	lamI             uint64
 	tcsE1I           uint64
@@ -60,14 +68,19 @@ type pairKey struct {
 // mutated while the grid is in use.
 func NewGrid(m *Model) *Grid {
 	c := m.Sys.C()
-	return &Grid{
+	g := &Grid{
 		m:         m,
 		lam:       make([]float64, c),
 		outRate:   make([]float64, c),
 		inRate:    make([]float64, c),
 		intraMemo: make(map[intraKey]intraResult),
 		pairMemo:  make(map[pairKey]pairResult),
+		topoID:    make([]string, c),
 	}
+	for i := range g.topoID {
+		g.topoID[i] = m.Sys.Clusters[i].Topo.String()
+	}
+	return g
 }
 
 // beginPoint hands the evaluation driver the reusable rate scratch and
@@ -85,6 +98,7 @@ func (g *Grid) intraCluster(i int, lamI float64) intraResult {
 	key := intraKey{
 		levels: int32(cl.Levels),
 		nodes:  int32(cl.Nodes),
+		topo:   g.topoID[i],
 		pOut:   math.Float64bits(m.pOut[i]),
 		lam:    math.Float64bits(lamI),
 		tcnI1:  math.Float64bits(m.tcnI1[i]),
@@ -103,16 +117,16 @@ func (g *Grid) interPair(i, v int, lamI float64, outRate, inRate []float64) pair
 	m := g.m
 	cl := &m.Sys.Clusters[i]
 	clv := &m.Sys.Clusters[v]
-	h := int32(-1)
+	d2 := int32(-1)
 	if m.Opt.ExactICN2Pairs {
-		h = int32(m.hOf[i][v])
+		d2 = int32(m.dOf[i][v])
 	}
 	key := pairKey{
 		lvI:    int32(cl.Levels),
 		lvV:    int32(clv.Levels),
 		nI:     int32(cl.Nodes),
 		nV:     int32(clv.Nodes),
-		h:      h,
+		d2:     d2,
 		pOutI:  math.Float64bits(m.pOut[i]),
 		lamI:   math.Float64bits(lamI),
 		tcsE1I: math.Float64bits(m.tcsE1[i]),

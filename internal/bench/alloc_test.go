@@ -87,6 +87,19 @@ func TestAllocsMcsimOrg1(t *testing.T) {
 	})
 }
 
+// TestAllocsMcsimJellyfish bounds a run whose ICN1s are the random-regular
+// plugin: routes are copied out of the topology's frozen path arena, so the
+// per-message path stays allocation-free and the whole run fits the same
+// fixed setup budget as the fat-tree configuration.
+func TestAllocsMcsimJellyfish(t *testing.T) {
+	cfg := benchTopoConfig(4000, "jellyfish")
+	gate(t, "mcsim-jellyfish", 150, func() {
+		if _, err := mcsim.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestAllocsMcsimBursty bounds the bursty fast path: MMPP arrivals and a
 // bimodal length mix on the same organization. Variable-M worms draw their
 // path and acquisition buffers from the pooled slabs, and the MMPP per-node

@@ -116,6 +116,29 @@ func BenchmarkMcsimOrg1(b *testing.B) {
 	}
 }
 
+// benchTopoConfig is benchConfig with a topology axis applied over the
+// organization (see system.ApplyTopologyAxis).
+func benchTopoConfig(measure int, axis string) mcsim.Config {
+	cfg := benchConfig(measure)
+	if err := system.ApplyTopologyAxis(&cfg.Org, axis); err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// BenchmarkMcsimJellyfish runs the same organization with every cluster's
+// ICN1 replaced by the equal-budget random-regular topology: the plugin's
+// frozen-path-arena AppendRoute instead of the tree's digit walk, on the
+// same per-message hot path.
+func BenchmarkMcsimJellyfish(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcsim.Run(benchTopoConfig(4000, "jellyfish")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMcsimBursty runs the same organization under a bursty MMPP
 // arrival process with a bimodal message-length mix — the workload
 // subsystem's hot path (per-node modulation state, per-message length draws,

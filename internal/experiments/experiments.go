@@ -575,6 +575,85 @@ func (r Runner) LinkHeterogeneityStudy(org system.Organization, par units.Params
 	return series, nil
 }
 
+// TopologyConfigs are the equal-switch-budget interconnect points of the
+// topology comparison study (topo.ParseAxis syntax): the paper's fat trees,
+// a seeded random-regular (Jellyfish-style) ICN1 over the same switch and
+// node budget, and a Dragonfly-style global ICN2.
+var TopologyConfigs = []struct{ Label, Axis string }{
+	{"fat-tree", ""},
+	{"jellyfish", "jellyfish"},
+	{"dragonfly icn2", "fattree+dragonfly"},
+}
+
+// TopologyCompareStudy (Extension 5) compares interconnect topologies at an
+// equal switch budget: for each configuration it runs the
+// route-distribution-indexed model and the simulator over a common traffic
+// grid (bounded by the earliest saturation across configurations), so the
+// series pair off as analysis/simulation per topology — the same
+// model-vs-simulation reading as Figures 3–4, repeated per interconnect.
+func (r Runner) TopologyCompareStudy(org system.Organization, par units.Params, points int) ([]plot.Series, error) {
+	configs := TopologyConfigs
+	models := make([]*analytic.Grid, len(configs))
+	topoAxis := make([]string, len(configs))
+	minSat := math.Inf(1)
+	for ci, c := range configs {
+		// ApplyTopologyAxis overwrites the Specs slice in place, so every
+		// configuration re-parses an owned copy of the organization.
+		o, err := system.ParseOrganization(system.Format(org))
+		if err != nil {
+			return nil, err
+		}
+		if err := system.ApplyTopologyAxis(&o, c.Axis); err != nil {
+			return nil, err
+		}
+		sys, err := system.New(o)
+		if err != nil {
+			return nil, err
+		}
+		topoAxis[ci] = c.Axis
+		if models[ci], err = newModelGrid(sys, par, r.Options); err != nil {
+			return nil, err
+		}
+		sat := models[ci].SaturationPoint(1e-6, 1, 1e-3)
+		if math.IsInf(sat, 1) {
+			return nil, fmt.Errorf("experiments: no saturation point for topology %q", c.Label)
+		}
+		if sat < minSat {
+			minSat = sat
+		}
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		// Stay in the steady-state region, where the model is valid.
+		xs[i] = 0.55 * minSat * float64(i+1) / float64(points)
+	}
+	series := make([]plot.Series, 0, 2*len(configs))
+	for ci, c := range configs {
+		an := plot.Series{Label: "analysis " + c.Label, X: xs, Y: make([]float64, points)}
+		for i, x := range xs {
+			v, err := models[ci].MeanLatency(x)
+			if err != nil {
+				v = math.NaN()
+			}
+			an.Y[i] = v
+		}
+		series = append(series,
+			an,
+			plot.Series{Label: "sim " + c.Label, X: xs, Y: make([]float64, points)},
+		)
+	}
+	spec := r.simSpec("topology-compare", org, par, xs)
+	spec.Topologies = topoAxis
+	results, err := r.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	for k, st := range aggregateReps(results, func(j sweep.Job) [2]int { return [2]int{j.TopoIndex, j.LoadIndex} }) {
+		series[2*k[0]+1].Y[k[1]] = st.mean
+	}
+	return series, nil
+}
+
 // RoutingAblation (Ablation B) contrasts balanced destination-digit ascent
 // with oblivious random ascent in the simulator, quantifying the switch
 // contention the paper's routing choice avoids.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mcnet/internal/plot"
 	"mcnet/internal/sweep"
 	"mcnet/internal/system"
 	"mcnet/internal/units"
@@ -221,6 +222,56 @@ func TestLinkHeterogeneityStudy(t *testing.T) {
 	// heterogeneous links about as well as on the homogeneous system
 	// (compare TestSteadyStateAgreement / TestRateHeterogeneityStudy).
 	for ci := 0; ci < 3; ci++ {
+		an, sim := series[2*ci], series[2*ci+1]
+		for i := range an.Y {
+			if math.IsNaN(an.Y[i]) || math.IsNaN(sim.Y[i]) {
+				continue
+			}
+			if math.Abs(an.Y[i]-sim.Y[i]) > 0.25*sim.Y[i] {
+				t.Errorf("%s point %d: analysis %v vs sim %v differ by >25%%",
+					an.Label, i, an.Y[i], sim.Y[i])
+			}
+		}
+	}
+}
+
+func TestTopologyCompareStudy(t *testing.T) {
+	r := NewRunner(tinyScale())
+	series, err := r.TopologyCompareStudy(tinyOrg(), units.Default(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6 (analysis+sim per topology)", len(series))
+	}
+	for _, s := range series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || y <= 0 {
+				t.Errorf("%s[%d] = %v (unpopulated)", s.Label, i, y)
+			}
+		}
+	}
+	// The non-tree interconnects must actually change the measurement: a
+	// wiring bug that routes every configuration over the fat tree would
+	// reproduce the fat-tree curve exactly.
+	simTree, simJelly, simDragon := series[1], series[3], series[5]
+	same := func(a, b plot.Series) bool {
+		for i := range a.Y {
+			if a.Y[i] != b.Y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(simTree, simJelly) {
+		t.Error("jellyfish simulation identical to fat-tree simulation")
+	}
+	if same(simTree, simDragon) {
+		t.Error("dragonfly-ICN2 simulation identical to fat-tree simulation")
+	}
+	// The acceptance bar: the route-distribution-indexed model tracks the
+	// simulator on every topology in the steady-state region.
+	for ci := range TopologyConfigs {
 		an, sim := series[2*ci], series[2*ci+1]
 		for i := range an.Y {
 			if math.IsNaN(an.Y[i]) || math.IsNaN(sim.Y[i]) {

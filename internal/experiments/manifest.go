@@ -232,15 +232,27 @@ func Manifest() []Entry {
 				return r.LinkHeterogeneityStudy(system.Table1Org2(), units.Default(), points)
 			},
 		},
+		{
+			Name: "topology", Title: "Extension 5: interconnect topologies at equal switch budget (Org2, M=32, Lm=256)",
+			Kind: KindStudy, Small: true, Gated: true, Tolerance: DefaultTolerance, DefaultPoints: 10,
+			Series: func(r Runner, points int) ([]plot.Series, error) {
+				return r.TopologyCompareStudy(system.Table1Org2(), units.Default(), points)
+			},
+		},
 	}
-	// The link-heterogeneity schema and pairs derive from the shared config
-	// table, so adding a technology point there extends the gate too.
+	// The link-heterogeneity and topology schemas and pairs derive from the
+	// shared config tables, so adding a configuration there extends the gate
+	// too.
+	configLabels := map[string][]string{}
+	for _, c := range LinkHeterogeneityConfigs {
+		configLabels["link-hetero"] = append(configLabels["link-hetero"], c.Label)
+	}
+	for _, c := range TopologyConfigs {
+		configLabels["topology"] = append(configLabels["topology"], c.Label)
+	}
 	for i := range entries {
-		if entries[i].Name != "link-hetero" {
-			continue
-		}
-		for _, c := range LinkHeterogeneityConfigs {
-			an, sim := "analysis "+c.Label, "sim "+c.Label
+		for _, label := range configLabels[entries[i].Name] {
+			an, sim := "analysis "+label, "sim "+label
 			entries[i].Pairs = append(entries[i].Pairs, Pair{Analysis: an, Simulation: sim})
 			entries[i].SeriesLabels = append(entries[i].SeriesLabels, an, sim)
 		}

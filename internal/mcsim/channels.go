@@ -81,14 +81,13 @@ func (s *Sim) groupOf(c int32) ChannelGroup {
 	for i := range s.clusters {
 		cn := &s.clusters[i]
 		shape := s.sys.Clusters[i].Shape
-		span := int32(shape.Channels())
 		switch {
-		case c >= cn.icn1Base && c < cn.icn1Base+span:
-			if shape.IsNodeChannel(int(c - cn.icn1Base)) {
+		case c >= cn.icn1Base && c < cn.icn1Base+int32(cn.icn1.Channels()):
+			if cn.icn1.IsNodeChannel(int(c - cn.icn1Base)) {
 				return GroupICN1Node
 			}
 			return GroupICN1Switch
-		case c >= cn.ecn1Base && c < cn.ecn1Base+span:
+		case c >= cn.ecn1Base && c < cn.ecn1Base+int32(shape.Channels()):
 			if shape.IsNodeChannel(int(c - cn.ecn1Base)) {
 				return GroupECN1Node
 			}
@@ -97,7 +96,7 @@ func (s *Sim) groupOf(c int32) ChannelGroup {
 			return GroupConcentrator
 		}
 	}
-	if s.sys.ICN2.IsNodeChannel(int(c - s.icn2Base)) {
+	if s.icn2.IsNodeChannel(int(c - s.icn2Base)) {
 		return GroupConcentrator
 	}
 	return GroupICN2

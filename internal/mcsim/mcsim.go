@@ -47,6 +47,7 @@ import (
 	"mcnet/internal/routing"
 	"mcnet/internal/stats"
 	"mcnet/internal/system"
+	"mcnet/internal/topo"
 	"mcnet/internal/traffic"
 	"mcnet/internal/units"
 	"mcnet/internal/workload"
@@ -166,9 +167,14 @@ type clusterNets struct {
 	rootUpBase   int32 // ECN1 root → concentrator links, indexed by root
 	rootDownBase int32 // concentrator → ECN1 root links, indexed by root
 	router       routing.Router
-	// table precomputes the cluster tree's routes; clusters sharing a shape
-	// share one table.
+	// table precomputes the cluster's ECN1 tree routes; clusters sharing a
+	// shape share one table. The ECN1 access network is always an m-port
+	// n_i-tree — only ICN1 is topology-pluggable.
 	table *routing.Table
+	// icn1 is the cluster's intra network, resolved from the spec's
+	// topology under the run's routing mode (the default fat tree routes
+	// through the same shared table the pre-plugin simulator used).
+	icn1 topo.Topology
 }
 
 // Sim is a fully built simulation instance. Create with New, run with Run.
@@ -181,8 +187,9 @@ type Sim struct {
 
 	clusters []clusterNets
 	icn2Base int32
-	icn2R    routing.Router
-	icn2Tab  *routing.Table
+	// icn2 is the global interconnect, resolved from the organization's
+	// ICN2 topology under the run's routing mode.
+	icn2 topo.Topology
 
 	pattern traffic.Pattern
 	// nodeRNG is one contiguous arena of per-node random streams.
@@ -274,7 +281,11 @@ func New(cfg Config) (*Sim, error) {
 		if cl.ECN1 != nil {
 			ecn1 = *cl.ECN1
 		}
-		cn.icn1Base = appendTree(cl.Shape, icn1.Tcn(lm), icn1.Tcs(lm))
+		cn.icn1, err = topo.New(cl.Topo, sys.Ports, cl.Levels, cfg.RoutingMode)
+		if err != nil {
+			return nil, fmt.Errorf("mcsim: cluster %d ICN1: %v", i, err)
+		}
+		cn.icn1Base = appendTree(cn.icn1, icn1.Tcn(lm), icn1.Tcs(lm))
 		cn.ecn1Base = appendTree(cl.Shape, ecn1.Tcn(lm), ecn1.Tcs(lm))
 		cn.rootUpBase = int32(len(flits))
 		for r := 0; r < cl.Shape.Roots(); r++ {
@@ -286,19 +297,21 @@ func New(cfg Config) (*Sim, error) {
 		}
 		cn.router = routing.Router{T: cl.Shape, Mode: cfg.RoutingMode}
 	}
-	s.icn2Base = appendTree(sys.ICN2, concTcs, icn2Tcs)
-	s.icn2R = routing.Router{T: sys.ICN2, Mode: cfg.RoutingMode}
+	s.icn2, err = topo.NewGlobal(cfg.Org.ICN2Topo, sys.Ports, sys.C(), cfg.RoutingMode)
+	if err != nil {
+		return nil, fmt.Errorf("mcsim: ICN2: %v", err)
+	}
+	s.icn2Base = appendTree(s.icn2, concTcs, icn2Tcs)
 	s.net = wormhole.New(&s.sched, flits)
 	s.hid = s.sched.Register(s)
 
-	// Attach the process-shared precomputed route tables (one per distinct
-	// tree shape and routing mode; Table 1's organizations have at most
-	// three shapes).
+	// Attach the process-shared precomputed ECN1 route tables (one per
+	// distinct tree shape and routing mode; Table 1's organizations have at
+	// most three shapes).
 	for i := range s.clusters {
 		cn := &s.clusters[i]
 		cn.table = routing.SharedTable(cn.router)
 	}
-	s.icn2Tab = routing.SharedTable(s.icn2R)
 
 	if cfg.Pattern != nil {
 		s.pattern = cfg.Pattern(sys)
@@ -319,15 +332,23 @@ func New(cfg Config) (*Sim, error) {
 	s.perCluster = make([]stats.Running, sys.C())
 	// Bound the longest possible route: an inter-cluster journey climbs the
 	// source ECN1 (Levels channels), crosses a root↔concentrator bridge, the
-	// full ICN2 (2·Levels), the destination bridge, and descends the
-	// destination ECN1. Intra routes (2·Levels) are always shorter.
-	maxLv := 0
+	// full ICN2, the destination bridge, and descends the destination ECN1.
+	// Intra routes are bounded by their topology's MaxRouteLen (2·Levels for
+	// the default fat tree, always shorter than the inter bound there, but
+	// e.g. a sparse jellyfish can exceed it).
+	maxLv, maxIntra := 0, 0
 	for i := range sys.Clusters {
 		if lv := sys.Clusters[i].Levels; lv > maxLv {
 			maxLv = lv
 		}
+		if n := s.clusters[i].icn1.MaxRouteLen(); n > maxIntra {
+			maxIntra = n
+		}
 	}
-	s.maxHops = 2*maxLv + 2*sys.ICN2.Levels() + 2
+	s.maxHops = 2*maxLv + s.icn2.MaxRouteLen() + 2
+	if maxIntra > s.maxHops {
+		s.maxHops = maxIntra
+	}
 	s.genCap = cfg.Warmup + cfg.Measure + cfg.Drain
 	if err := s.setupWorkload(); err != nil {
 		return nil, err
@@ -585,9 +606,10 @@ func (s *Sim) replayGenerate(i int) {
 func (s *Sim) launch(m *message) {
 	path := m.pathBuf[:0]
 	if m.srcCl == m.dstCl {
-		// Intra-cluster: a plain up*/down* journey through ICN1.
+		// Intra-cluster: a single journey through ICN1 (up*/down* on the
+		// default fat tree, table-routed shortest path on jellyfish).
 		cn := &s.clusters[m.srcCl]
-		path = cn.table.AppendRoute(path, cn.icn1Base,
+		path = cn.icn1.AppendRoute(path, cn.icn1Base,
 			int(s.nodeLocal[m.src]), int(s.nodeLocal[m.dst]), m.sel2)
 	} else {
 		// Inter-cluster: one merged journey ECN1_i → ICN2 → ECN1_v with
@@ -598,7 +620,7 @@ func (s *Sim) launch(m *message) {
 		var srcRootY int
 		path, srcRootY = src.table.AppendUpToRoot(path, src.ecn1Base, int(s.nodeLocal[m.src]), m.sel1)
 		path = append(path, src.rootUpBase+int32(srcRootY))
-		path = s.icn2Tab.AppendRoute(path, s.icn2Base, m.srcCl, m.dstCl, m.sel2)
+		path = s.icn2.AppendRoute(path, s.icn2Base, m.srcCl, m.dstCl, m.sel2)
 		dstRootY := dst.table.RootIndex(m.sel3)
 		path = append(path, dst.rootDownBase+int32(dstRootY))
 		path = dst.table.AppendDownFromRoot(path, dst.ecn1Base, dstRootY, int(s.nodeLocal[m.dst]))

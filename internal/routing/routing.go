@@ -49,6 +49,19 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode resolves a mode name as produced by Mode.String — the single
+// source of truth for the spec grammar shared by the sweep axes, the CLIs
+// and the job server. ParseMode(m.String()) == m for every valid mode.
+func ParseMode(spec string) (Mode, error) {
+	switch spec {
+	case "balanced":
+		return Balanced, nil
+	case "random-up":
+		return RandomUp, nil
+	}
+	return 0, fmt.Errorf("routing: unknown mode %q (balanced, random-up)", spec)
+}
+
 // Router computes routes on one tree.
 type Router struct {
 	T    *tree.Tree

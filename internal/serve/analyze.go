@@ -212,7 +212,10 @@ func (s *Server) evalModel(c scenario) (lat sweep.Float, saturated bool, satPoin
 	if err != nil {
 		return 0, false, 0, err
 	}
-	pm, err := s.preparedModel(c.model, c.org, c.links, par)
+	// Topology selection rides inside the org spec itself (@topo=/@icn2topo=
+	// suffixes survive canonicalOrgSpec), so the analyze path needs no
+	// separate axis value.
+	pm, err := s.preparedModel(c.model, c.org, c.links, "", par)
 	if err != nil {
 		return 0, false, 0, err
 	}

@@ -14,6 +14,7 @@ import (
 
 	"mcnet/internal/obs"
 	"mcnet/internal/sweep"
+	"mcnet/internal/topo"
 	"mcnet/internal/units"
 	"mcnet/internal/workload"
 )
@@ -36,6 +37,7 @@ type jobRequest struct {
 	Arrival   string      `json:"arrival,omitempty"`
 	Sizes     string      `json:"sizes,omitempty"`
 	Links     string      `json:"links,omitempty"`
+	Topo      string      `json:"topo,omitempty"`
 	Warmup    int         `json:"warmup,omitempty"`
 	Measure   int         `json:"measure,omitempty"`
 	Drain     int         `json:"drain,omitempty"`
@@ -96,6 +98,11 @@ func (req jobRequest) toJob() (sweep.Job, error) {
 		return j, err
 	}
 	j.Links = tiers.String()
+	cl, gl, err := topo.ParseAxis(req.Topo)
+	if err != nil {
+		return j, err
+	}
+	j.Topo = topo.FormatAxis(cl, gl)
 
 	if err := checkLambda(req.Lambda); err != nil {
 		return j, err
@@ -539,7 +546,7 @@ func (s *Server) compareOutcome(model string, j sweep.Job, o sweep.Outcome) (com
 	if err != nil {
 		return doc, err
 	}
-	lat, saturated, err := s.modelLatency(model, j.Org, j.Links, par, j.Lambda)
+	lat, saturated, err := s.modelLatency(model, j.Org, j.Links, j.Topo, par, j.Lambda)
 	if err != nil {
 		return doc, err
 	}

@@ -76,24 +76,32 @@ type preparedModel struct {
 }
 
 // modelKey canonically identifies a prepared model: everything that feeds
-// analytic.New. org and links arrive in canonical spec syntax (links is the
-// same string par.Tiers was parsed from); the technology floats render in
-// hex so every bit counts.
-func modelKey(model, org, links string, par units.Params) string {
+// analytic.New. org, links and topoAxis arrive in canonical spec syntax
+// (links is the same string par.Tiers was parsed from; topoAxis is the
+// sweep's canonical axis value, "" for the default fat trees); the
+// technology floats render in hex so every bit counts.
+func modelKey(model, org, links, topoAxis string, par units.Params) string {
 	hf := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
-	return "model=" + model +
+	key := "model=" + model +
 		"|org=" + org +
 		"|m=" + strconv.Itoa(par.MessageFlits) +
 		"|lm=" + strconv.Itoa(par.FlitBytes) +
 		"|links=" + links +
 		"|an=" + hf(par.AlphaNet) + "|as=" + hf(par.AlphaSw) + "|bn=" + hf(par.BetaNet)
+	// Default-omitting, like Job identity: fat-tree keys are unchanged from
+	// before the topology axis existed.
+	if topoAxis != "" {
+		key += "|topo=" + topoAxis
+	}
+	return key
 }
 
-// preparedModel returns the cached evaluator for (model, org, links, par),
-// building and caching it on miss. Concurrent misses may build twice; the
-// last Put wins, which is benign (the entries are equivalent).
-func (s *Server) preparedModel(model, org, links string, par units.Params) (*preparedModel, error) {
-	key := modelKey(model, org, links, par)
+// preparedModel returns the cached evaluator for (model, org, links,
+// topoAxis, par), building and caching it on miss. Concurrent misses may
+// build twice; the last Put wins, which is benign (the entries are
+// equivalent).
+func (s *Server) preparedModel(model, org, links, topoAxis string, par units.Params) (*preparedModel, error) {
+	key := modelKey(model, org, links, topoAxis, par)
 	if v, ok := s.models.Get(key); ok {
 		return v.(*preparedModel), nil
 	}
@@ -103,6 +111,9 @@ func (s *Server) preparedModel(model, org, links string, par units.Params) (*pre
 	}
 	parsed, err := system.ParseOrganization(org)
 	if err != nil {
+		return nil, err
+	}
+	if err := system.ApplyTopologyAxis(&parsed, topoAxis); err != nil {
 		return nil, err
 	}
 	sys, err := system.New(parsed)
@@ -121,8 +132,8 @@ func (s *Server) preparedModel(model, org, links string, par units.Params) (*pre
 // modelLatency evaluates the mean latency (Eq. 36) at lambda through the
 // cached model. Saturation is an answer, not an error: it returns a NaN
 // latency with saturated set.
-func (s *Server) modelLatency(model, org, links string, par units.Params, lambda float64) (lat sweep.Float, saturated bool, err error) {
-	pm, err := s.preparedModel(model, org, links, par)
+func (s *Server) modelLatency(model, org, links, topoAxis string, par units.Params, lambda float64) (lat sweep.Float, saturated bool, err error) {
+	pm, err := s.preparedModel(model, org, links, topoAxis, par)
 	if err != nil {
 		return 0, false, err
 	}

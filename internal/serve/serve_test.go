@@ -256,6 +256,8 @@ func TestSimulateValidationAndJobErrors(t *testing.T) {
 		{"negative measure", `{"org":"org2","lambda":0.001,"measure":-5}`},
 		{"negative rep", `{"org":"org2","lambda":0.001,"rep":-1}`},
 		{"model on simulate", `{"org":"org2","lambda":0.001,"model":"calibrated"}`},
+		{"bad topo", `{"org":"org2","lambda":0.001,"topo":"torus"}`},
+		{"global-only topo as cluster", `{"org":"org2","lambda":0.001,"topo":"dragonfly"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -269,6 +271,41 @@ func TestSimulateValidationAndJobErrors(t *testing.T) {
 	}
 	if w := do(t, s, "GET", "/v1/jobs/"+strings.Repeat("a", 64), ""); w.Code != http.StatusNotFound {
 		t.Fatalf("unknown id: %d", w.Code)
+	}
+}
+
+// TestSimulateTopoAxis pins the topology axis through the job layer: the
+// canonical default spelling collapses to the fat-tree identity (same job,
+// same cache key), while a non-default topology is a distinct job.
+func TestSimulateTopoAxis(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, instantOutcome)
+	submit := func(body string) jobRef {
+		w := do(t, s, "POST", "/v1/simulate", body)
+		if w.Code != http.StatusAccepted && w.Code != http.StatusOK {
+			t.Fatalf("submit %s: %d %s", body, w.Code, w.Body)
+		}
+		var ref jobRef
+		if err := json.Unmarshal(w.Body.Bytes(), &ref); err != nil {
+			t.Fatal(err)
+		}
+		return ref
+	}
+	base := `{"org":"m=4:2x1,2x2","lambda":0.0005,"measure":1000`
+	def := submit(base + `}`)
+	fat := submit(base + `,"topo":"fattree"}`)
+	jelly := submit(base + `,"topo":"jellyfish"}`)
+	if def.ID != fat.ID {
+		t.Fatalf("explicit fattree is a different job than the default: %s vs %s", fat.ID, def.ID)
+	}
+	if jelly.ID == def.ID {
+		t.Fatal("jellyfish job shares the fat-tree identity")
+	}
+	doc := waitDone(t, s, jelly.ID)
+	if doc["status"] != "done" {
+		t.Fatalf("jellyfish job finished as %v: %v", doc["status"], doc["error"])
+	}
+	if job := doc["job"].(map[string]any); job["topo"] != "jellyfish" {
+		t.Fatalf("job document topo = %v, want jellyfish", job["topo"])
 	}
 }
 

@@ -42,7 +42,7 @@ func gridUpper(spec sweep.Spec, limit int) int {
 	n := 1
 	for _, d := range []int{
 		len(spec.Orgs), len(spec.Messages), len(spec.Patterns), len(spec.Routing),
-		len(spec.Links), len(spec.Arrivals), len(spec.Sizes), loads, spec.Reps,
+		len(spec.Links), len(spec.Topologies), len(spec.Arrivals), len(spec.Sizes), loads, spec.Reps,
 	} {
 		if d <= 0 {
 			continue

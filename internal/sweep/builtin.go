@@ -71,13 +71,29 @@ func Builtin(name string) (Spec, bool) {
 			Loads:  Loads{Points: 6, MaxFraction: 0.7},
 			Warmup: 10000, Measure: 100000, Drain: 10000,
 		}, true
+	case "topologies":
+		// The interconnect grid behind the topology comparison study: the
+		// paper's Org2 fat trees against an equal-budget random-regular ICN1
+		// and a Dragonfly-style global ICN2, model vs simulation.
+		return Spec{
+			Name:     "topologies",
+			Orgs:     []string{"org2"},
+			Messages: []MessageGeometry{{Flits: 32, FlitBytes: 256}},
+			Topologies: []string{
+				"fattree",
+				"jellyfish",
+				"fattree+dragonfly",
+			},
+			Loads:  Loads{Points: 6, MaxFraction: 0.55},
+			Warmup: 10000, Measure: 100000, Drain: 10000,
+		}, true
 	}
 	return Spec{}, false
 }
 
 // BuiltinNames lists the predefined sweeps in stable order.
 func BuiltinNames() []string {
-	names := []string{"fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64", "demo", "bursty", "hetero-links"}
+	names := []string{"fig3-m32", "fig3-m64", "fig4-m32", "fig4-m64", "demo", "bursty", "hetero-links", "topologies"}
 	sort.Strings(names)
 	return names
 }
@@ -86,12 +102,12 @@ func BuiltinNames() []string {
 // job with its axis values, derived seed and cache-key prefix.
 func FormatGrid(jobs []Job) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s  %-24s %3s %5s %-18s %-10s %-14s %-18s %-24s %12s %4s %-20s %s\n",
-		"index", "org", "M", "Lm", "pattern", "routing", "arrival", "size", "links", "lambda", "rep", "sim_seed", "key")
+	fmt.Fprintf(&b, "%5s  %-24s %3s %5s %-18s %-10s %-14s %-18s %-24s %-18s %12s %4s %-20s %s\n",
+		"index", "org", "M", "Lm", "pattern", "routing", "arrival", "size", "links", "topology", "lambda", "rep", "sim_seed", "key")
 	for _, j := range jobs {
-		fmt.Fprintf(&b, "%5d  %-24s %3d %5d %-18s %-10s %-14s %-18s %-24s %12.5g %4d %-20d %s\n",
+		fmt.Fprintf(&b, "%5d  %-24s %3d %5d %-18s %-10s %-14s %-18s %-24s %-18s %12.5g %4d %-20d %s\n",
 			j.Index, j.Org, j.Flits, j.FlitBytes, j.Pattern, j.Routing,
-			j.ArrivalName(), j.SizeName(), j.LinksName(),
+			j.ArrivalName(), j.SizeName(), j.LinksName(), j.TopoName(),
 			j.Lambda, j.Rep, j.SimSeed, j.Key()[:12])
 	}
 	fmt.Fprintf(&b, "%d jobs\n", len(jobs))

@@ -292,7 +292,7 @@ func Execute(j Job) (Outcome, error) {
 // executed events (0 = the simulator's default stride). The probe has no
 // effect on the outcome — ExecuteObserved(j, 0, nil) is exactly Execute(j).
 func ExecuteObserved(j Job, every uint64, onProgress func(events uint64, simTime float64)) (Outcome, error) {
-	org, err := system.ParseOrganization(j.Org)
+	org, err := j.TopoOrg()
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -348,18 +348,18 @@ type analysisPoint struct {
 }
 
 // analysisKey indexes the analysis table: the model latency depends only on
-// the organization, the message geometry, the link-technology point and the
-// load.
-func analysisKey(j Job) [4]int {
-	return [4]int{j.OrgIndex, j.MsgIndex, j.LinksIndex, j.LoadIndex}
+// the organization, the message geometry, the link-technology point, the
+// topology point and the load.
+func analysisKey(j Job) [5]int {
+	return [5]int{j.OrgIndex, j.MsgIndex, j.LinksIndex, j.TopoIndex, j.LoadIndex}
 }
 
 // analysisTable precomputes the analytic latency for every distinct
-// (org, message, links, load) combination of the grid, sequentially and
-// before any simulation starts, so emission never blocks on model
-// evaluation.
-func analysisTable(spec Spec, jobs []Job) (map[[4]int]analysisPoint, error) {
-	table := make(map[[4]int]analysisPoint)
+// (org, message, links, topology, load) combination of the grid,
+// sequentially and before any simulation starts, so emission never blocks
+// on model evaluation.
+func analysisTable(spec Spec, jobs []Job) (map[[5]int]analysisPoint, error) {
+	table := make(map[[5]int]analysisPoint)
 	if spec.Model == "none" {
 		nan := analysisPoint{value: Float(math.NaN())}
 		for _, j := range jobs {
@@ -374,17 +374,17 @@ func analysisTable(spec Spec, jobs []Job) (map[[4]int]analysisPoint, error) {
 	// One batched evaluator per distinct model: the grid's load axis then
 	// reuses the model's memoized shared terms across its λ points instead
 	// of re-running every stage recursion per point.
-	type mkey struct{ org, msg, links int }
+	type mkey struct{ org, msg, links, topo int }
 	grids := make(map[mkey]*analytic.Grid)
 	for _, j := range jobs {
 		k := analysisKey(j)
 		if _, ok := table[k]; ok {
 			continue
 		}
-		mk := mkey{j.OrgIndex, j.MsgIndex, j.LinksIndex}
+		mk := mkey{j.OrgIndex, j.MsgIndex, j.LinksIndex, j.TopoIndex}
 		g, ok := grids[mk]
 		if !ok {
-			org, err := system.ParseOrganization(j.Org)
+			org, err := j.TopoOrg()
 			if err != nil {
 				return nil, err
 			}

@@ -11,6 +11,7 @@ import (
 
 	"mcnet/internal/analytic"
 	"mcnet/internal/system"
+	"mcnet/internal/topo"
 	"mcnet/internal/units"
 	"mcnet/internal/workload"
 )
@@ -42,6 +43,11 @@ type Job struct {
 	// omitted from the identity, so jobs of pre-link-axis specs keep their
 	// cache keys and derived seeds.
 	Links string `json:"links,omitempty"`
+	// Topo is the canonical topology axis value (topo.ParseAxis syntax).
+	// The empty string encodes the default fat tree everywhere and is
+	// omitted from the identity, so jobs of pre-topology specs keep their
+	// cache keys and derived seeds.
+	Topo string `json:"topo,omitempty"`
 	// Lambda is λ_g, the per-node offered traffic.
 	Lambda float64 `json:"lambda"`
 	// Rep is the replication index; SimSeed is the derived simulator seed.
@@ -64,6 +70,7 @@ type Job struct {
 	PatternIndex int `json:"pattern_index"`
 	RoutingIndex int `json:"routing_index"`
 	LinksIndex   int `json:"links_index"`
+	TopoIndex    int `json:"topo_index"`
 	ArrivalIndex int `json:"arrival_index"`
 	SizeIndex    int `json:"size_index"`
 	LoadIndex    int `json:"load_index"`
@@ -91,6 +98,27 @@ func (j Job) LinksName() string {
 		return "uniform"
 	}
 	return j.Links
+}
+
+// TopoName returns the topology axis value with the default made explicit.
+func (j Job) TopoName() string {
+	if j.Topo == "" {
+		return "fattree"
+	}
+	return j.Topo
+}
+
+// TopoOrg parses the job's organization and folds its topology axis value
+// onto it, yielding the organization the job actually simulates and models.
+func (j Job) TopoOrg() (system.Organization, error) {
+	org, err := system.ParseOrganization(j.Org)
+	if err != nil {
+		return org, err
+	}
+	if err := system.ApplyTopologyAxis(&org, j.Topo); err != nil {
+		return org, err
+	}
+	return org, nil
 }
 
 // Params materializes the job's technology parameters, including any
@@ -140,6 +168,9 @@ func (j Job) identity() string {
 	if j.Links != "" {
 		parts = append(parts, "links="+j.Links)
 	}
+	if j.Topo != "" {
+		parts = append(parts, "topo="+j.Topo)
+	}
 	return strings.Join(parts, "|")
 }
 
@@ -166,8 +197,8 @@ func DeriveSeed(base uint64, j Job) uint64 {
 }
 
 // Expand normalizes and validates the spec and returns its full job grid in
-// the canonical order org → message → pattern → routing → links → arrival →
-// size → load → rep.
+// the canonical order org → message → pattern → routing → links → topology →
+// arrival → size → load → rep.
 func Expand(spec Spec) ([]Job, error) {
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
@@ -189,6 +220,10 @@ func Expand(spec Spec) ([]Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	topos, err := canonicalTopos(spec.Topologies)
+	if err != nil {
+		return nil, err
+	}
 	var jobs []Job
 	for oi, org := range spec.Orgs {
 		canonical, err := canonicalOrg(org)
@@ -203,40 +238,44 @@ func Expand(spec Spec) ([]Job, error) {
 			for pi, pat := range spec.Patterns {
 				for ri, rt := range spec.Routing {
 					for lki, lk := range links {
-						for ai, arr := range arrivals {
-							for si, sz := range sizes {
-								for li, lambda := range grids[oi] {
-									for rep := 0; rep < spec.Reps; rep++ {
-										j := Job{
-											Org:       canonical,
-											Flits:     msg.Flits,
-											FlitBytes: msg.FlitBytes,
-											Pattern:   pat,
-											Routing:   rt,
-											Links:     lk,
-											Arrival:   arr,
-											SizeDist:  sz,
-											Lambda:    lambda,
-											Rep:       rep,
-											AlphaNet:  par.AlphaNet,
-											AlphaSw:   par.AlphaSw,
-											BetaNet:   par.BetaNet,
-											Warmup:    spec.Warmup,
-											Measure:   spec.Measure,
-											Drain:     spec.Drain,
+						for ti, tp := range topos {
+							for ai, arr := range arrivals {
+								for si, sz := range sizes {
+									for li, lambda := range grids[oi] {
+										for rep := 0; rep < spec.Reps; rep++ {
+											j := Job{
+												Org:       canonical,
+												Flits:     msg.Flits,
+												FlitBytes: msg.FlitBytes,
+												Pattern:   pat,
+												Routing:   rt,
+												Links:     lk,
+												Topo:      tp,
+												Arrival:   arr,
+												SizeDist:  sz,
+												Lambda:    lambda,
+												Rep:       rep,
+												AlphaNet:  par.AlphaNet,
+												AlphaSw:   par.AlphaSw,
+												BetaNet:   par.BetaNet,
+												Warmup:    spec.Warmup,
+												Measure:   spec.Measure,
+												Drain:     spec.Drain,
 
-											Index:        len(jobs),
-											OrgIndex:     oi,
-											MsgIndex:     mi,
-											PatternIndex: pi,
-											RoutingIndex: ri,
-											LinksIndex:   lki,
-											ArrivalIndex: ai,
-											SizeIndex:    si,
-											LoadIndex:    li,
+												Index:        len(jobs),
+												OrgIndex:     oi,
+												MsgIndex:     mi,
+												PatternIndex: pi,
+												RoutingIndex: ri,
+												LinksIndex:   lki,
+												TopoIndex:    ti,
+												ArrivalIndex: ai,
+												SizeIndex:    si,
+												LoadIndex:    li,
+											}
+											j.SimSeed = DeriveSeed(spec.BaseSeed, j)
+											jobs = append(jobs, j)
 										}
-										j.SimSeed = DeriveSeed(spec.BaseSeed, j)
-										jobs = append(jobs, j)
 									}
 								}
 							}
@@ -247,6 +286,20 @@ func Expand(spec Spec) ([]Job, error) {
 		}
 	}
 	return jobs, nil
+}
+
+// canonicalTopos maps topology axis specs to canonical axis values, with the
+// default (fat tree everywhere) encoded as the empty string (see Job.Topo).
+func canonicalTopos(specs []string) ([]string, error) {
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		cl, gl, err := topo.ParseAxis(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = topo.FormatAxis(cl, gl)
+	}
+	return out, nil
 }
 
 // canonicalLinks maps link axis specs to canonical tier specs, with the
@@ -320,30 +373,38 @@ func loadGrids(spec Spec) ([][]float64, error) {
 	}
 	// Grid placement always uses the calibrated model, even when the spec
 	// attaches a different (or no) analytic curve to the results: the grid
-	// is a sampling decision, not a modeling claim.
+	// is a sampling decision, not a modeling claim. The saturation maximum
+	// runs over the topology axis too, so every topology's curve fits on
+	// the shared grid; with the default axis this materializes exactly the
+	// pre-topology systems.
 	opts, _ := ModelOptions("calibrated")
 	for oi, orgSpec := range spec.Orgs {
-		org, err := system.ParseOrganization(orgSpec)
-		if err != nil {
-			return nil, err
-		}
-		sys, err := system.New(org)
-		if err != nil {
-			return nil, err
-		}
 		var sat float64
-		for _, msg := range spec.Messages {
-			for _, links := range spec.Links {
-				par, err := spec.params(msg, links)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: spec %q: %v", spec.Name, err)
-				}
-				m, err := analytic.New(sys, par, opts)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: spec %q: org %q: %v", spec.Name, orgSpec, err)
-				}
-				if s := m.SaturationPoint(1e-6, 1, 1e-3); !math.IsInf(s, 1) && s > sat {
-					sat = s
+		for _, topoAxis := range spec.Topologies {
+			org, err := system.ParseOrganization(orgSpec)
+			if err != nil {
+				return nil, err
+			}
+			if err := system.ApplyTopologyAxis(&org, topoAxis); err != nil {
+				return nil, fmt.Errorf("sweep: spec %q: %v", spec.Name, err)
+			}
+			sys, err := system.New(org)
+			if err != nil {
+				return nil, err
+			}
+			for _, msg := range spec.Messages {
+				for _, links := range spec.Links {
+					par, err := spec.params(msg, links)
+					if err != nil {
+						return nil, fmt.Errorf("sweep: spec %q: %v", spec.Name, err)
+					}
+					m, err := analytic.New(sys, par, opts)
+					if err != nil {
+						return nil, fmt.Errorf("sweep: spec %q: org %q: %v", spec.Name, orgSpec, err)
+					}
+					if s := m.SaturationPoint(1e-6, 1, 1e-3); !math.IsInf(s, 1) && s > sat {
+						sat = s
+					}
 				}
 			}
 		}

@@ -230,6 +230,108 @@ func TestLinkAxisCanonicalization(t *testing.T) {
 	}
 }
 
+// TestTopologyAxisIdentityOmission pins the cache-compatibility contract of
+// the topology axis: a spec that does not sweep topologies (or sweeps only
+// the explicit default point) produces jobs with exactly the keys and
+// derived seeds it produced before the axis existed, and only non-default
+// topology points change them.
+func TestTopologyAxisIdentityOmission(t *testing.T) {
+	plain, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range []string{"", "fattree", "fattree+fattree"} {
+		explicit := tinySpec()
+		explicit.Topologies = []string{def}
+		expl, err := Expand(explicit)
+		if err != nil {
+			t.Fatalf("Topologies=[%q]: %v", def, err)
+		}
+		if len(plain) != len(expl) {
+			t.Fatalf("Topologies=[%q]: grid sizes differ: %d vs %d", def, len(plain), len(expl))
+		}
+		for i := range plain {
+			if plain[i].Key() != expl[i].Key() || plain[i].SimSeed != expl[i].SimSeed {
+				t.Fatalf("job %d: explicit default topology %q changed identity:\n%+v\nvs\n%+v",
+					i, def, plain[i], expl[i])
+			}
+			if expl[i].Topo != "" || expl[i].TopoName() != "fattree" {
+				t.Fatalf("job %d: default topology not canonicalized to the empty string: %+v", i, expl[i])
+			}
+		}
+	}
+
+	multi := tinySpec()
+	multi.Topologies = []string{"fattree", "jellyfish", "fattree+dragonfly"}
+	jobs, err := Expand(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3*len(plain) {
+		t.Fatalf("topology axis did not triple the grid: %d vs %d", len(jobs), len(plain))
+	}
+	keys := map[string]bool{}
+	for _, j := range plain {
+		keys[j.Key()] = true
+	}
+	for _, j := range jobs {
+		switch j.Topo {
+		case "":
+			if !keys[j.Key()] {
+				t.Fatalf("fat-tree job %+v lost its pre-axis key", j)
+			}
+		case "jellyfish", "fattree+dragonfly":
+			if keys[j.Key()] {
+				t.Fatalf("topology job %+v collides with a fat-tree key", j)
+			}
+		default:
+			t.Fatalf("unexpected canonical topology value %q", j.Topo)
+		}
+	}
+}
+
+// TestTopoOrgAppliesAxis: the organization a job materializes carries the
+// job's topology point on every cluster spec and on ICN2.
+func TestTopoOrgAppliesAxis(t *testing.T) {
+	spec := tinySpec()
+	spec.Topologies = []string{"jellyfish.s7+dragonfly"}
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org, err := jobs[0].TopoOrg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range org.Specs {
+		if cs.Topo.String() != "jellyfish.s7" {
+			t.Fatalf("cluster spec topology = %q, want jellyfish.s7", cs.Topo)
+		}
+	}
+	if org.ICN2Topo.String() != "dragonfly" {
+		t.Fatalf("ICN2 topology = %q, want dragonfly", org.ICN2Topo)
+	}
+	// The serialized org string is untouched: topology identity lives in the
+	// Topo field, not in a rewritten spec.
+	plain, err := Expand(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Org != plain[0].Org {
+		t.Fatalf("topology axis rewrote the org spec string: %q vs %q", jobs[0].Org, plain[0].Org)
+	}
+}
+
+func TestTopologyAxisRejectsBadValues(t *testing.T) {
+	for _, bad := range []string{"torus", "dragonfly", "jellyfish+jellyfish", "fattree+jellyfish"} {
+		spec := tinySpec()
+		spec.Topologies = []string{bad}
+		if _, err := Expand(spec); err == nil {
+			t.Errorf("Topologies=[%q]: expansion of invalid spec succeeded", bad)
+		}
+	}
+}
+
 func TestExplicitLambdas(t *testing.T) {
 	spec := tinySpec()
 	spec.Loads = Loads{Lambdas: []float64{1e-4, 2e-4, 3e-4}}

@@ -33,6 +33,10 @@ var CSVWorkloadColumns = []string{"arrival", "size_dist"}
 // appends (see CSVSink.Links).
 var CSVLinksColumns = []string{"links"}
 
+// CSVTopologyColumns are the extra columns a topology-aware sink appends
+// (see CSVSink.Topology).
+var CSVTopologyColumns = []string{"topology"}
+
 // CSVSink streams results as CSV rows (RFC 4180 quoting: organization specs
 // contain commas). Output is deterministic: floats use the shortest exact
 // decimal representation and NaN prints as "NaN".
@@ -46,6 +50,11 @@ type CSVSink struct {
 	// Like Workload it is opt-in (keyed off Spec.HasLinkAxis by the CLI), so
 	// homogeneous-technology sweeps keep their schema byte for byte.
 	Links bool
+	// Topology, when set before the first Write, appends the
+	// CSVTopologyColumns. Opt-in like the others (keyed off
+	// Spec.HasTopologyAxis by the CLI), so fat-tree-only sweeps keep their
+	// schema byte for byte.
+	Topology bool
 
 	w      *csv.Writer
 	headed bool
@@ -67,13 +76,16 @@ func (s *CSVSink) Write(r Result) error {
 	if !s.headed {
 		s.headed = true
 		header := CSVHeader
-		if s.Workload || s.Links {
+		if s.Workload || s.Links || s.Topology {
 			header = append([]string{}, CSVHeader...)
 			if s.Workload {
 				header = append(header, CSVWorkloadColumns...)
 			}
 			if s.Links {
 				header = append(header, CSVLinksColumns...)
+			}
+			if s.Topology {
+				header = append(header, CSVTopologyColumns...)
 			}
 		}
 		if err := s.w.Write(header); err != nil {
@@ -94,6 +106,9 @@ func (s *CSVSink) Write(r Result) error {
 	}
 	if s.Links {
 		row = append(row, j.LinksName())
+	}
+	if s.Topology {
+		row = append(row, j.TopoName())
 	}
 	return s.w.Write(row)
 }
@@ -146,6 +161,7 @@ func NewSpecCSVSink(dir string, spec Spec) (*CSVSink, func() error, error) {
 	sink := NewCSVSink(f)
 	sink.Workload = spec.HasWorkloadAxes()
 	sink.Links = spec.HasLinkAxis()
+	sink.Topology = spec.HasTopologyAxis()
 	closeFn := func() error {
 		ferr := sink.Flush()
 		if cerr := f.Close(); ferr == nil {

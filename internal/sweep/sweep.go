@@ -38,6 +38,7 @@ import (
 	"mcnet/internal/analytic"
 	"mcnet/internal/routing"
 	"mcnet/internal/system"
+	"mcnet/internal/topo"
 	"mcnet/internal/traffic"
 	"mcnet/internal/units"
 	"mcnet/internal/workload"
@@ -104,6 +105,13 @@ type Spec struct {
 	// Default: ["uniform"]. Per-cluster ICN1/ECN1 heterogeneity rides in the
 	// organization axis instead ("m=4:2x2@ecn1=.../...,2x3").
 	Links []string `json:"links,omitempty"`
+	// Topologies is the topology axis: "<cluster>[+<global>]" in
+	// topo.ParseAxis syntax, e.g. "jellyfish", "jellyfish.s7+dragonfly" or
+	// "fattree+dragonfly". A non-default cluster part replaces every group's
+	// ICN1 topology and a non-default global part replaces the ICN2
+	// interconnect, at the organization's switch budget. "" (or "fattree")
+	// is the default m-port n-tree everywhere. Default: [""].
+	Topologies []string `json:"topologies,omitempty"`
 	// Loads is the offered-traffic axis.
 	Loads Loads `json:"loads"`
 	// Warmup, Measure and Drain are the simulation phase message counts
@@ -147,6 +155,9 @@ func (s Spec) Normalized() Spec {
 	}
 	if len(s.Links) == 0 {
 		s.Links = []string{"uniform"}
+	}
+	if len(s.Topologies) == 0 {
+		s.Topologies = []string{""}
 	}
 	if s.Loads.MaxFraction == 0 {
 		s.Loads.MaxFraction = 1.0
@@ -213,6 +224,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
 		}
 	}
+	for _, t := range s.Topologies {
+		if _, _, err := topo.ParseAxis(t); err != nil {
+			return fmt.Errorf("sweep: spec %q: %v", s.Name, err)
+		}
+	}
 	if len(s.Loads.Lambdas) == 0 && s.Loads.Points <= 0 {
 		return fmt.Errorf("sweep: spec %q: loads need either lambdas or points", s.Name)
 	}
@@ -249,6 +265,18 @@ func (s Spec) Validate() error {
 func (s Spec) HasLinkAxis() bool {
 	for _, spec := range s.Links {
 		if t, err := units.ParseTiers(spec); err == nil && !t.Homogeneous() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasTopologyAxis reports whether the spec sweeps topology beyond the
+// default fat tree; sinks use it to decide whether the topology column
+// carries information.
+func (s Spec) HasTopologyAxis() bool {
+	for _, spec := range s.Topologies {
+		if cl, gl, err := topo.ParseAxis(spec); err == nil && topo.FormatAxis(cl, gl) != "" {
 			return true
 		}
 	}
@@ -329,15 +357,15 @@ func ParsePattern(spec string) (func(*system.System) traffic.Pattern, error) {
 	return nil, fmt.Errorf("sweep: unknown pattern %q", spec)
 }
 
-// ParseRouting resolves a routing-policy name to a simulator mode.
+// ParseRouting resolves a routing-policy name to a simulator mode. It
+// delegates to routing.ParseMode, the single source of truth for the mode
+// grammar.
 func ParseRouting(spec string) (routing.Mode, error) {
-	switch spec {
-	case "balanced":
-		return routing.Balanced, nil
-	case "random-up":
-		return routing.RandomUp, nil
+	m, err := routing.ParseMode(spec)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: unknown routing policy %q", spec)
 	}
-	return 0, fmt.Errorf("sweep: unknown routing policy %q", spec)
+	return m, nil
 }
 
 // ModelOptions resolves a model preset name. The empty name and "calibrated"

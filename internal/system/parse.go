@@ -6,15 +6,17 @@ import (
 	"strconv"
 	"strings"
 
+	"mcnet/internal/topo"
 	"mcnet/internal/units"
 )
 
 // ParseOrganization parses the compact command-line syntax for system
 // organizations:
 //
-//	m=<ports>:<group>[,<group>...]
-//	group = <count>x<levels>[@<rate>][@icn1=<class>][@ecn1=<class>]
+//	m=<ports>[@icn2topo=<topo>]:<group>[,<group>...]
+//	group = <count>x<levels>[@<rate>][@icn1=<class>][@ecn1=<class>][@topo=<topo>]
 //	class = <alpha_net>/<alpha_sw>/<beta_net>     (units.ParseLinkClass)
+//	topo  = fattree | jellyfish[.s<seed>] | dragonfly   (topo.ParseSpec)
 //
 // For example the paper's first Table 1 organization is
 //
@@ -24,9 +26,13 @@ import (
 //
 //	m=4:8x3@2,3x4,5x5
 //
-// and a link-heterogeneous group whose clusters run a slower access fabric is
+// a link-heterogeneous group whose clusters run a slower access fabric is
 //
 //	m=4:2x2@ecn1=0.04/0.02/0.004,2x3
+//
+// and a group of random-regular clusters under a dragonfly global tier is
+//
+//	m=8@icn2topo=dragonfly:12x1,16x2@topo=jellyfish,4x3
 //
 // The named shortcuts "org1" and "org2" resolve to the Table 1
 // organizations.
@@ -43,14 +49,34 @@ func ParseOrganization(spec string) (Organization, error) {
 		return org, fmt.Errorf("system: spec %q: missing ':' after ports", spec)
 	}
 	head = strings.TrimSpace(head)
-	if !strings.HasPrefix(head, "m=") {
+	headParts := strings.Split(head, "@")
+	if !strings.HasPrefix(headParts[0], "m=") {
 		return org, fmt.Errorf("system: spec %q: expected m=<ports> prefix", spec)
 	}
-	ports, err := strconv.Atoi(strings.TrimPrefix(head, "m="))
+	ports, err := strconv.Atoi(strings.TrimPrefix(headParts[0], "m="))
 	if err != nil {
 		return org, fmt.Errorf("system: spec %q: bad ports: %v", spec, err)
 	}
 	org.Ports = ports
+	sawICN2Topo := false
+	for _, suf := range headParts[1:] {
+		name, value, isNamed := strings.Cut(suf, "=")
+		if !isNamed || name != "icn2topo" {
+			return org, fmt.Errorf("system: spec %q: unknown head suffix %q (want icn2topo=<topo>)", spec, suf)
+		}
+		if sawICN2Topo {
+			return org, fmt.Errorf("system: spec %q: icn2topo given twice", spec)
+		}
+		sawICN2Topo = true
+		t, terr := topo.ParseSpec(value)
+		if terr == nil {
+			terr = t.ValidGlobal()
+		}
+		if terr != nil {
+			return org, fmt.Errorf("system: spec %q: %v", spec, terr)
+		}
+		org.ICN2Topo = t
+	}
 	for _, part := range strings.Split(rest, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -58,12 +84,29 @@ func ParseOrganization(spec string) (Organization, error) {
 		}
 		var rate float64
 		var icn1, ecn1 *units.LinkClass
+		var topoSpec topo.Spec
+		sawTopo := false
 		suffixes := strings.Split(part, "@")
 		part = suffixes[0]
 		sawRate := false
 		for _, suf := range suffixes[1:] {
-			if name, classSpec, isClass := strings.Cut(suf, "="); isClass {
-				c, cerr := units.ParseLinkClass(classSpec)
+			if name, value, isNamed := strings.Cut(suf, "="); isNamed {
+				if name == "topo" {
+					if sawTopo {
+						return org, fmt.Errorf("system: spec %q: topo given twice", spec)
+					}
+					sawTopo = true
+					t, terr := topo.ParseSpec(value)
+					if terr == nil {
+						terr = t.ValidCluster()
+					}
+					if terr != nil {
+						return org, fmt.Errorf("system: spec %q: %v", spec, terr)
+					}
+					topoSpec = t
+					continue
+				}
+				c, cerr := units.ParseLinkClass(value)
 				if cerr != nil {
 					return org, fmt.Errorf("system: spec %q: %v", spec, cerr)
 				}
@@ -106,7 +149,7 @@ func ParseOrganization(spec string) (Organization, error) {
 		}
 		org.Specs = append(org.Specs, ClusterSpec{
 			Count: count, Levels: levels, RateFactor: rate,
-			ICN1: icn1, ECN1: ecn1,
+			ICN1: icn1, ECN1: ecn1, Topo: topoSpec,
 		})
 	}
 	if len(org.Specs) == 0 {
@@ -119,11 +162,17 @@ func ParseOrganization(spec string) (Organization, error) {
 // so that ParseOrganization(Format(org)) materializes an identical system.
 // The organization's display name is not representable and is dropped; rate
 // factors of 0 and 1 (both meaning "nominal rate") are omitted, as are nil
-// link classes (meaning "tier default"). Suffixes render in the fixed order
-// rate, icn1, ecn1.
+// link classes (meaning "tier default") and default (fat-tree) topologies —
+// an organization without topology overrides formats exactly as before the
+// topology layer existed. Suffixes render in the fixed order rate, icn1,
+// ecn1, topo.
 func Format(org Organization) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "m=%d:", org.Ports)
+	fmt.Fprintf(&b, "m=%d", org.Ports)
+	if !org.ICN2Topo.IsZero() {
+		fmt.Fprintf(&b, "@icn2topo=%s", org.ICN2Topo)
+	}
+	b.WriteByte(':')
 	for i, spec := range org.Specs {
 		if i > 0 {
 			b.WriteByte(',')
@@ -138,6 +187,30 @@ func Format(org Organization) string {
 		if spec.ECN1 != nil {
 			fmt.Fprintf(&b, "@ecn1=%s", spec.ECN1)
 		}
+		if !spec.Topo.IsZero() {
+			fmt.Fprintf(&b, "@topo=%s", spec.Topo)
+		}
 	}
 	return b.String()
+}
+
+// ApplyTopologyAxis folds a sweep-axis topology value "<cluster>[+<global>]"
+// (topo.ParseAxis) onto an organization: a non-default cluster topology
+// replaces every group's Topo and a non-default global topology replaces
+// ICN2Topo. The empty axis (and explicit "fattree" parts, which parse to
+// the zero spec) leave the organization untouched.
+func ApplyTopologyAxis(org *Organization, axis string) error {
+	cluster, global, err := topo.ParseAxis(axis)
+	if err != nil {
+		return err
+	}
+	if !cluster.IsZero() {
+		for i := range org.Specs {
+			org.Specs[i].Topo = cluster
+		}
+	}
+	if !global.IsZero() {
+		org.ICN2Topo = global
+	}
+	return nil
 }

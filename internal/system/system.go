@@ -15,6 +15,8 @@ import (
 	"math"
 	"strings"
 
+	"mcnet/internal/routing"
+	"mcnet/internal/topo"
 	"mcnet/internal/tree"
 	"mcnet/internal/units"
 )
@@ -38,6 +40,11 @@ type ClusterSpec struct {
 	// their own α_net, α_sw and β_net (see DESIGN.md, link heterogeneity).
 	ICN1 *units.LinkClass
 	ECN1 *units.LinkClass
+	// Topo selects these clusters' ICN1 topology at the same switch budget
+	// as the m-port n_i-tree (zero value = the fat tree itself; see
+	// internal/topo). The access network ECN1 always stays an m-port
+	// n_i-tree: it is the attachment fabric the concentrators hang off.
+	Topo topo.Spec
 }
 
 // Organization is the user-facing description of a multi-cluster system.
@@ -45,6 +52,9 @@ type Organization struct {
 	Name  string
 	Ports int // m, common to every network in the system (paper §4)
 	Specs []ClusterSpec
+	// ICN2Topo selects the global interconnect joining the clusters (zero
+	// value = the smallest sufficient m-port n_c-tree).
+	ICN2Topo topo.Spec
 }
 
 // Cluster is one materialized cluster.
@@ -54,13 +64,18 @@ type Cluster struct {
 	Nodes      int // N_i = 2(m/2)^n_i
 	NodeBase   int // global id of this cluster's first node
 	RateFactor float64
-	// Shape is the m-port n_i-tree geometry shared by the cluster's ICN1
-	// and ECN1 (the simulator instantiates separate channel state for each).
+	// Shape is the m-port n_i-tree geometry of the cluster's ECN1 access
+	// network (and of ICN1 when Topo is the default fat tree).
 	Shape *tree.Tree
 	// ICN1 and ECN1 carry the spec's per-cluster link-class overrides
 	// (nil = tier default).
 	ICN1 *units.LinkClass
 	ECN1 *units.LinkClass
+	// Topo is the spec's ICN1 topology selection and Net its canonical
+	// (balanced-routing) instance; the simulator re-resolves the spec for
+	// other routing modes through the topo cache.
+	Topo topo.Spec
+	Net  topo.Topology
 }
 
 // System is a validated, materialized organization.
@@ -68,10 +83,13 @@ type System struct {
 	Name     string
 	Ports    int
 	Clusters []Cluster
-	// ICN2 is the m-port n_c-tree joining the clusters; its "node" positions
-	// host the concentrators. When the cluster count C is not exactly
-	// 2(m/2)^n_c the smallest sufficient tree is used and only the first C
-	// positions are populated.
+	// ICN2Net is the global interconnect joining the clusters; its "node"
+	// positions host the concentrators, with only the first C populated
+	// when the topology's terminal capacity exceeds the cluster count.
+	ICN2Net topo.Topology
+	// ICN2 is the underlying m-port n_c-tree when the global interconnect
+	// is the default fat tree, and nil otherwise (e.g. dragonfly); callers
+	// needing tree-specific diagnostics must check for nil.
 	ICN2       *tree.Tree
 	totalNodes int
 }
@@ -113,6 +131,10 @@ func New(org Organization) (*System, error) {
 			}
 			shapes[spec.Levels] = shape
 		}
+		net, err := topo.New(spec.Topo, org.Ports, spec.Levels, routing.Balanced)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cluster topology: %v", ErrBadOrganization, err)
+		}
 		rate := spec.RateFactor
 		if rate == 0 {
 			rate = 1
@@ -127,6 +149,8 @@ func New(org Organization) (*System, error) {
 				Shape:      shape,
 				ICN1:       spec.ICN1,
 				ECN1:       spec.ECN1,
+				Topo:       spec.Topo,
+				Net:        net,
 			})
 			s.totalNodes += shape.Nodes()
 		}
@@ -135,21 +159,20 @@ func New(org Organization) (*System, error) {
 	if c < 2 {
 		return nil, fmt.Errorf("%w: a multi-cluster system needs ≥ 2 clusters, got %d", ErrBadOrganization, c)
 	}
-	// Smallest n_c with 2(m/2)^n_c ≥ C; exact for the paper's organizations.
-	k := org.Ports / 2
-	levels, capacity := 1, 2*k
-	for capacity < c {
-		if k == 1 {
-			return nil, fmt.Errorf("%w: m=2 ICN2 cannot host %d clusters", ErrBadOrganization, c)
-		}
-		levels++
-		capacity *= k
-	}
-	icn2, err := tree.New(org.Ports, levels)
+	// The smallest instance of the selected global topology that can host
+	// all C concentrators (for the default fat tree: the smallest n_c with
+	// 2(m/2)^n_c ≥ C, exact for the paper's organizations).
+	icn2, err := topo.NewGlobal(org.ICN2Topo, org.Ports, c, routing.Balanced)
 	if err != nil {
 		return nil, fmt.Errorf("%w: ICN2: %v", ErrBadOrganization, err)
 	}
-	s.ICN2 = icn2
+	if icn2.Nodes() < c {
+		return nil, fmt.Errorf("%w: m=%d ICN2 cannot host %d clusters", ErrBadOrganization, org.Ports, c)
+	}
+	s.ICN2Net = icn2
+	if ft, ok := icn2.(*topo.FatTree); ok {
+		s.ICN2 = ft.Tree()
+	}
 	return s, nil
 }
 
@@ -168,9 +191,10 @@ func (s *System) C() int { return len(s.Clusters) }
 // TotalNodes returns N, the number of nodes across all clusters.
 func (s *System) TotalNodes() int { return s.totalNodes }
 
-// ICN2Exact reports whether the cluster count exactly fills the ICN2 tree
-// (C == 2(m/2)^n_c), as in both of the paper's Table 1 organizations.
-func (s *System) ICN2Exact() bool { return s.ICN2.Nodes() == s.C() }
+// ICN2Exact reports whether the cluster count exactly fills the global
+// interconnect's terminal positions (for the default tree: C == 2(m/2)^n_c,
+// as in both of the paper's Table 1 organizations).
+func (s *System) ICN2Exact() bool { return s.ICN2Net.Nodes() == s.C() }
 
 // POut returns P_o(i) of Eq. 13: the probability that a message generated in
 // cluster i leaves the cluster, which under uniform destinations is the
@@ -202,8 +226,12 @@ func (s *System) GlobalNode(ci, local int) int {
 // cluster pairs (i, v), i ≠ v, with both clusters uniform: index h of the
 // result holds P(NCA level == h). For exactly filled ICN2 trees this equals
 // the tree's Eq. 4 distribution; for partially populated trees it is the
-// exact enumeration over the occupied positions.
+// exact enumeration over the occupied positions. It is only defined for
+// fat-tree global interconnects and returns nil otherwise.
 func (s *System) ICN2ProbH() []float64 {
+	if s.ICN2 == nil {
+		return nil
+	}
 	c := s.C()
 	counts := make([]float64, s.ICN2.Levels()+1)
 	for i := 0; i < c; i++ {
@@ -217,6 +245,29 @@ func (s *System) ICN2ProbH() []float64 {
 	total := float64(c * (c - 1))
 	for h := range counts {
 		counts[h] /= total
+	}
+	return counts
+}
+
+// ICN2RouteDist generalizes ICN2ProbH to any global interconnect: index d
+// holds the probability that the ICN2 route between a uniformly random
+// ordered pair of distinct occupied concentrator positions crosses d
+// channels. For a fat-tree ICN2 it is exactly ICN2ProbH re-indexed at
+// d = 2h (a route with its NCA at level h crosses 2h channels).
+func (s *System) ICN2RouteDist() []float64 {
+	c := s.C()
+	counts := make([]float64, s.ICN2Net.MaxRouteLen()+1)
+	for i := 0; i < c; i++ {
+		for v := 0; v < c; v++ {
+			if i == v {
+				continue
+			}
+			counts[s.ICN2Net.RouteLen(i, v)]++
+		}
+	}
+	total := float64(c * (c - 1))
+	for d := range counts {
+		counts[d] /= total
 	}
 	return counts
 }
@@ -287,21 +338,34 @@ func Uniform(name string, ports, count, levels int) Organization {
 func (s *System) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", s.Name)
-	fmt.Fprintf(&b, "  N=%d  C=%d  m=%d  ICN2=%v (n_c=%d, %s populated)\n",
-		s.totalNodes, s.C(), s.Ports, s.ICN2, s.ICN2.Levels(),
-		map[bool]string{true: "fully", false: "partially"}[s.ICN2Exact()])
-	type group struct{ levels, count, nodes int }
+	if s.ICN2 != nil {
+		fmt.Fprintf(&b, "  N=%d  C=%d  m=%d  ICN2=%v (n_c=%d, %s populated)\n",
+			s.totalNodes, s.C(), s.Ports, s.ICN2, s.ICN2.Levels(),
+			map[bool]string{true: "fully", false: "partially"}[s.ICN2Exact()])
+	} else {
+		fmt.Fprintf(&b, "  N=%d  C=%d  m=%d  ICN2=%v (%s populated)\n",
+			s.totalNodes, s.C(), s.Ports, s.ICN2Net,
+			map[bool]string{true: "fully", false: "partially"}[s.ICN2Exact()])
+	}
+	type group struct {
+		levels, count, nodes int
+		tp                   topo.Topology
+	}
 	var groups []group
 	for _, c := range s.Clusters {
-		if len(groups) > 0 && groups[len(groups)-1].levels == c.Levels {
+		if len(groups) > 0 && groups[len(groups)-1].levels == c.Levels && groups[len(groups)-1].tp == c.Net {
 			groups[len(groups)-1].count++
 			continue
 		}
-		groups = append(groups, group{levels: c.Levels, count: 1, nodes: c.Nodes})
+		groups = append(groups, group{levels: c.Levels, count: 1, nodes: c.Nodes, tp: c.Net})
 	}
 	for _, g := range groups {
-		fmt.Fprintf(&b, "  %2d clusters × (n_i=%d, N_i=%d, N_sw=%d)\n",
+		fmt.Fprintf(&b, "  %2d clusters × (n_i=%d, N_i=%d, N_sw=%d)",
 			g.count, g.levels, g.nodes, tree.SwitchCountFormula(s.Ports, g.levels))
+		if g.tp.Kind() != topo.KindFatTree {
+			fmt.Fprintf(&b, " ICN1=%v", g.tp)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,0 +1,68 @@
+package topo
+
+import (
+	"mcnet/internal/routing"
+	"mcnet/internal/tree"
+)
+
+// FatTree adapts the paper's m-port n-tree (tree.Tree) and its up*/down*
+// route tables (routing.Table) to the Topology contract. It is a pure
+// delegation layer: channel ids, routes and distributions are exactly the
+// pre-plugin ones, which is what keeps every committed golden fixture
+// byte-identical with the fat tree running as a plugin.
+type FatTree struct {
+	t    *tree.Tree
+	tb   *routing.Table
+	dist []float64
+}
+
+func newFatTree(ports, levels int, mode routing.Mode) (*FatTree, error) {
+	t, err := tree.New(ports, levels)
+	if err != nil {
+		return nil, err
+	}
+	f := &FatTree{t: t, tb: routing.SharedTable(routing.Router{T: t, Mode: mode})}
+	// A route with its NCA at level j crosses 2j channels (Eq. 4 re-indexed
+	// by channel count): dist[2j] = P(j), odd entries zero.
+	probJ := t.ProbJ()
+	f.dist = make([]float64, 2*t.Levels()+1)
+	for j := 1; j <= t.Levels(); j++ {
+		f.dist[2*j] = probJ[j]
+	}
+	return f, nil
+}
+
+// Tree exposes the underlying shape for tree-specific diagnostics
+// (bisection checks, per-level load summaries in mctopo).
+func (f *FatTree) Tree() *tree.Tree { return f.t }
+
+// Table exposes the precomputed route table (ECN1 legs reuse it).
+func (f *FatTree) Table() *routing.Table { return f.tb }
+
+func (f *FatTree) Kind() string             { return KindFatTree }
+func (f *FatTree) Nodes() int               { return f.t.Nodes() }
+func (f *FatTree) Switches() int            { return f.t.Switches() }
+func (f *FatTree) Channels() int            { return f.t.Channels() }
+func (f *FatTree) IsNodeChannel(c int) bool { return f.t.IsNodeChannel(c) }
+func (f *FatTree) MaxRouteLen() int         { return 2 * f.t.Levels() }
+
+func (f *FatTree) RouteLen(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return 2 * f.t.NCALevel(src, dst)
+}
+
+func (f *FatTree) AppendRoute(path []int32, base int32, src, dst int, sel uint64) []int32 {
+	return f.tb.AppendRoute(path, base, src, dst, sel)
+}
+
+func (f *FatTree) RouteDist() []float64 { return f.dist }
+func (f *FatTree) AvgDistance() float64 { return f.t.AvgDistance() }
+
+func (f *FatTree) EtaChannels() float64 {
+	return float64(f.t.Levels()) * float64(f.t.Nodes())
+}
+
+func (f *FatTree) CheckStructure() error { return f.t.CheckStructure() }
+func (f *FatTree) String() string        { return f.t.String() }

@@ -1,0 +1,43 @@
+package topo
+
+import "testing"
+
+// FuzzParseTopology hammers the @topo=/axis spec grammar: any accepted
+// input must format canonically and re-parse to the identical pair
+// (parse↔format round trip), and parsing must never panic on garbage,
+// overflow seeds or exotic shapes.
+func FuzzParseTopology(f *testing.F) {
+	for _, seed := range []string{
+		"", "fattree", "jellyfish", "jellyfish.s7", "jellyfish.s0",
+		"dragonfly", "fattree+dragonfly", "jellyfish.s3+dragonfly",
+		"+dragonfly", "jellyfish+", "a+b+c", "jellyfish.s18446744073709551615",
+		"jellyfish.s18446744073709551616", "jellyfish.s+1", "jellyfish.sNaN",
+		"jellyfish.s1e9", "fattree+fattree", "FATTREE", "fattree ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		cl, gl, err := ParseAxis(text)
+		if err != nil {
+			return
+		}
+		canon := FormatAxis(cl, gl)
+		cl2, gl2, err := ParseAxis(canon)
+		if err != nil {
+			t.Fatalf("canonical %q (from %q) does not re-parse: %v", canon, text, err)
+		}
+		if cl2 != cl || gl2 != gl {
+			t.Fatalf("round trip drifted: %q → (%+v,%+v) → %q → (%+v,%+v)", text, cl, gl, canon, cl2, gl2)
+		}
+		if again := FormatAxis(cl2, gl2); again != canon {
+			t.Fatalf("format not idempotent: %q vs %q", canon, again)
+		}
+		// Single specs must round-trip through their own grammar too.
+		if spec, err := ParseSpec(text); err == nil {
+			spec2, err := ParseSpec(spec.String())
+			if err != nil || spec2 != spec {
+				t.Fatalf("spec round trip drifted: %q → %+v → %q → (%+v, %v)", text, spec, spec.String(), spec2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"mcnet/internal/routing"
+	"mcnet/internal/tree"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		out  string
+	}{
+		{"", Spec{}, "fattree"},
+		{"fattree", Spec{}, "fattree"},
+		{"jellyfish", Spec{Kind: KindJellyfish}, "jellyfish"},
+		{"jellyfish.s7", Spec{Kind: KindJellyfish, Seed: 7}, "jellyfish.s7"},
+		{"jellyfish.s0", Spec{Kind: KindJellyfish}, "jellyfish"},
+		{"dragonfly", Spec{Kind: KindDragonfly}, "dragonfly"},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if s := got.String(); s != c.out {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", c.in, s, c.out)
+		}
+	}
+	for _, bad := range []string{"torus", "jellyfish.s", "jellyfish.s-1", "jellyfish.sNaN", "jellyfish.s99999999999999999999999", "Fattree", "fattree "} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	cases := []struct {
+		in      string
+		out     string
+		wantErr bool
+	}{
+		{"", "", false},
+		{"fattree", "", false},
+		{"fattree+fattree", "", false},
+		{"jellyfish", "jellyfish", false},
+		{"jellyfish.s3", "jellyfish.s3", false},
+		{"fattree+dragonfly", "fattree+dragonfly", false},
+		{"+dragonfly", "fattree+dragonfly", false},
+		{"jellyfish+dragonfly", "jellyfish+dragonfly", false},
+		{"dragonfly", "", true},         // dragonfly is global-only
+		{"fattree+jellyfish", "", true}, // jellyfish is intra-only
+		{"a+b+c", "", true},
+		{"fattree+torus", "", true},
+	}
+	for _, c := range cases {
+		cl, gl, err := ParseAxis(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseAxis(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseAxis(%q): %v", c.in, err)
+		}
+		if got := FormatAxis(cl, gl); got != c.out {
+			t.Errorf("FormatAxis(ParseAxis(%q)) = %q, want %q", c.in, got, c.out)
+		}
+	}
+}
+
+// TestFatTreePluginMatchesTree pins the bit-identity contract of the
+// fat-tree plugin: every Topology method must agree exactly with the
+// underlying tree+routing pair it wraps.
+func TestFatTreePluginMatchesTree(t *testing.T) {
+	for _, shape := range []struct{ ports, levels int }{{4, 1}, {4, 3}, {8, 2}, {8, 3}} {
+		ft, err := New(Spec{}, shape.ports, shape.levels, routing.Balanced)
+		if err != nil {
+			t.Fatalf("New(fattree %d/%d): %v", shape.ports, shape.levels, err)
+		}
+		tr, err := tree.New(shape.ports, shape.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Nodes() != tr.Nodes() || ft.Switches() != tr.Switches() || ft.Channels() != tr.Channels() {
+			t.Fatalf("fattree %d/%d: size mismatch", shape.ports, shape.levels)
+		}
+		if ft.AvgDistance() != tr.AvgDistance() {
+			t.Errorf("fattree %d/%d: AvgDistance %v != %v", shape.ports, shape.levels, ft.AvgDistance(), tr.AvgDistance())
+		}
+		if want := float64(tr.Levels()) * float64(tr.Nodes()); ft.EtaChannels() != want {
+			t.Errorf("fattree %d/%d: EtaChannels %v != %v", shape.ports, shape.levels, ft.EtaChannels(), want)
+		}
+		probJ := tr.ProbJ()
+		dist := ft.RouteDist()
+		for d, p := range dist {
+			want := 0.0
+			if d%2 == 0 && d/2 >= 1 && d/2 < len(probJ) {
+				want = probJ[d/2]
+			}
+			if p != want {
+				t.Errorf("fattree %d/%d: RouteDist[%d] = %v, want %v", shape.ports, shape.levels, d, p, want)
+			}
+		}
+		tb := routing.SharedTable(routing.Router{T: tr, Mode: routing.Balanced})
+		for src := 0; src < tr.Nodes(); src += 3 {
+			for dst := 0; dst < tr.Nodes(); dst += 5 {
+				if src == dst {
+					continue
+				}
+				got := ft.AppendRoute(nil, 100, src, dst, 12345)
+				want := tb.AppendRoute(nil, 100, src, dst, 12345)
+				if len(got) != len(want) {
+					t.Fatalf("route %d→%d: len %d != %d", src, dst, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("route %d→%d differs at hop %d", src, dst, i)
+					}
+				}
+				if got := ft.RouteLen(src, dst); got != len(want) {
+					t.Errorf("RouteLen(%d,%d) = %d, want %d", src, dst, got, len(want))
+				}
+			}
+		}
+		if err := ft.CheckStructure(); err != nil {
+			t.Errorf("fattree %d/%d: %v", shape.ports, shape.levels, err)
+		}
+	}
+}
+
+func checkTopology(t *testing.T, tp Topology) {
+	t.Helper()
+	if err := tp.CheckStructure(); err != nil {
+		t.Fatalf("%s: %v", tp, err)
+	}
+	var sum, avg float64
+	for d, p := range tp.RouteDist() {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("%s: RouteDist[%d] = %v", tp, d, p)
+		}
+		sum += p
+		avg += float64(d) * p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("%s: RouteDist sums to %v", tp, sum)
+	}
+	if math.Abs(avg-tp.AvgDistance()) > 1e-9 {
+		t.Fatalf("%s: AvgDistance %v, distribution mean %v", tp, tp.AvgDistance(), avg)
+	}
+	if tp.EtaChannels() != float64(tp.Channels())/2 {
+		t.Fatalf("%s: EtaChannels %v != Channels/2 = %v", tp, tp.EtaChannels(), float64(tp.Channels())/2)
+	}
+	n := tp.Nodes()
+	for src := 0; src < n; src += 7 {
+		for dst := 0; dst < n; dst += 11 {
+			if src == dst {
+				continue
+			}
+			path := tp.AppendRoute(nil, 0, src, dst, 0)
+			if len(path) != tp.RouteLen(src, dst) {
+				t.Fatalf("%s: route %d→%d has %d channels, RouteLen %d", tp, src, dst, len(path), tp.RouteLen(src, dst))
+			}
+			if len(path) > tp.MaxRouteLen() {
+				t.Fatalf("%s: route %d→%d exceeds MaxRouteLen", tp, src, dst)
+			}
+			if int(path[0]) != src || !tp.IsNodeChannel(int(path[0])) {
+				t.Fatalf("%s: route %d→%d starts on channel %d", tp, src, dst, path[0])
+			}
+			if int(path[len(path)-1]) != n+dst {
+				t.Fatalf("%s: route %d→%d ends on channel %d", tp, src, dst, path[len(path)-1])
+			}
+			for _, c := range path[1 : len(path)-1] {
+				if tp.IsNodeChannel(int(c)) {
+					t.Fatalf("%s: route %d→%d crosses node channel %d mid-route", tp, src, dst, c)
+				}
+			}
+			for _, c := range path {
+				if int(c) < 0 || int(c) >= tp.Channels() {
+					t.Fatalf("%s: route %d→%d uses out-of-range channel %d", tp, src, dst, c)
+				}
+			}
+		}
+	}
+}
+
+func TestJellyfish(t *testing.T) {
+	for _, shape := range []struct{ ports, levels int }{{4, 1}, {4, 3}, {4, 5}, {8, 2}, {8, 3}} {
+		jf, err := New(Spec{Kind: KindJellyfish}, shape.ports, shape.levels, routing.Balanced)
+		if err != nil {
+			t.Fatalf("jellyfish %d/%d: %v", shape.ports, shape.levels, err)
+		}
+		tr, _ := tree.New(shape.ports, shape.levels)
+		if jf.Nodes() != tr.Nodes() || jf.Switches() != tr.Switches() {
+			t.Fatalf("jellyfish %d/%d: budget mismatch: N=%d/%d Nsw=%d/%d",
+				shape.ports, shape.levels, jf.Nodes(), tr.Nodes(), jf.Switches(), tr.Switches())
+		}
+		checkTopology(t, jf)
+	}
+}
+
+func TestJellyfishSeedsDiffer(t *testing.T) {
+	a, err := New(Spec{Kind: KindJellyfish, Seed: 1}, 8, 3, routing.Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Spec{Kind: KindJellyfish, Seed: 2}, 8, 3, routing.Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same budget, different wiring: at least one route should differ.
+	same := true
+	for src := 0; src < a.Nodes() && same; src++ {
+		for dst := 0; dst < a.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			pa := a.AppendRoute(nil, 0, src, dst, 0)
+			pb := b.AppendRoute(nil, 0, src, dst, 0)
+			if len(pa) != len(pb) {
+				same = false
+				break
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					same = false
+					break
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical route sets")
+	}
+	// And the same seed must reproduce the same graph (cache aside).
+	c, err := newJellyfish(a.Nodes(), a.Switches(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != a.String() {
+		t.Errorf("seed 1 rebuilt differently: %s vs %s", c, a)
+	}
+}
+
+func TestDragonfly(t *testing.T) {
+	for _, count := range []int{1, 2, 6, 7, 16, 32, 72, 73} {
+		df, err := NewGlobal(Spec{Kind: KindDragonfly}, 8, count, routing.Balanced)
+		if err != nil {
+			t.Fatalf("dragonfly %d: %v", count, err)
+		}
+		if df.Nodes() < count {
+			t.Fatalf("dragonfly %d: only %d terminals", count, df.Nodes())
+		}
+		checkTopology(t, df)
+	}
+}
+
+func TestNewGlobalFatTreeMatchesSizing(t *testing.T) {
+	// The fat-tree global sizing must reproduce the system layer's historic
+	// rule: smallest n with 2(m/2)^n ≥ count.
+	for _, c := range []struct{ ports, count, wantLevels int }{
+		{8, 2, 1}, {8, 8, 1}, {8, 9, 2}, {8, 32, 2}, {8, 33, 3},
+		{4, 4, 1}, {4, 5, 2}, {4, 16, 3},
+	} {
+		tp, err := NewGlobal(Spec{}, c.ports, c.count, routing.Balanced)
+		if err != nil {
+			t.Fatalf("NewGlobal(%d, %d): %v", c.ports, c.count, err)
+		}
+		ft := tp.(*FatTree)
+		if ft.Tree().Levels() != c.wantLevels {
+			t.Errorf("NewGlobal(%d, %d): levels %d, want %d", c.ports, c.count, ft.Tree().Levels(), c.wantLevels)
+		}
+	}
+}
+
+func TestCacheReturnsSameInstance(t *testing.T) {
+	a, err := New(Spec{Kind: KindJellyfish}, 8, 2, routing.Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Spec{Kind: KindJellyfish}, 8, 2, routing.Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache returned distinct instances for equal keys")
+	}
+}
