@@ -94,11 +94,13 @@ serve:
 	$(GO) run ./cmd/mcserved -addr $(ADDR)
 
 # smoke boots mcserved on an ephemeral port, curls /healthz and /v1/analyze,
-# checks every response carries an X-Request-ID correlation header, and
-# pipes both Prometheus scrape forms (the dedicated endpoint and the
-# Accept-negotiated /metrics) through cmd/promlint — a malformed exposition
-# fails the build. CI runs this as the serve-smoke job; locally it needs
-# curl on PATH.
+# checks every response carries an X-Request-ID correlation header, runs a
+# real simulate job through the queue and scrapes its per-tier contention
+# report from /v1/jobs/{id}/telemetry, and pipes both Prometheus scrape
+# forms (the dedicated endpoint and the Accept-negotiated /metrics, now
+# carrying the mcserved_sim_tier_* families) through cmd/promlint — a
+# malformed exposition fails the build. CI runs this as the serve-smoke
+# job; locally it needs curl on PATH.
 smoke:
 	@command -v curl >/dev/null 2>&1 || { echo "smoke: curl not installed; skipping (CI runs it)"; exit 0; }; \
 	set -e; \
@@ -119,6 +121,14 @@ smoke:
 	grep -qi '^x-request-id:' "$$tmp/hdrs" || { echo "smoke: response missing X-Request-ID header"; exit 1; }; \
 	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
 	curl -fsS -X POST -d '{"org":"org1","lambda":0.0003}' "$$url/v1/analyze"; \
+	id="$$(curl -fsS -X POST -d '{"org":"org1","lambda":0.0003,"warmup":100,"measure":1000,"drain":100}' "$$url/v1/simulate" | sed -n 's/.*"id":"\([0-9a-f]*\)".*/\1/p')"; \
+	[ -n "$$id" ] || { echo "smoke: simulate returned no job id"; exit 1; }; \
+	i=0; while [ $$i -lt 100 ]; do \
+		curl -fsS "$$url/v1/jobs/$$id" | grep -q '"status":"done"' && break; \
+		i=$$((i+1)); sleep 0.1; \
+	done; \
+	[ $$i -lt 100 ] || { echo "smoke: simulate job never finished"; exit 1; }; \
+	curl -fsS "$$url/v1/jobs/$$id/telemetry" | grep -q '"tiers"' || { echo "smoke: telemetry report missing tiers"; exit 1; }; \
 	curl -fsS "$$url/metrics" >/dev/null; \
 	curl -fsS "$$url/metrics/prometheus" | "$$tmp/promlint"; \
 	curl -fsS -H 'Accept: text/plain' "$$url/metrics" | "$$tmp/promlint"; \

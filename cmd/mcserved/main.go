@@ -75,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		logFormat = fs.String("log-format", "text", "structured log format: text|json|off")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (see README §Observability)")
+		paperRuns = fs.String("paper-runs", "", `reproduction run tree behind GET /v1/fidelity ("" = paper_runs)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -94,6 +95,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ConcurrentSweeps: *sweeps,
 		MaxSweepJobs:     *maxJobs,
 		Pprof:            *pprofOn,
+		PaperRuns:        *paperRuns,
 	}
 	if *logFormat != "off" {
 		// Telemetry goes to stderr: stdout stays the operator interface (the

@@ -12,9 +12,12 @@
 //	mcsim -org org2 -lambda 3e-4 -arrival mmpp:16:32 -sizes bimodal:8:128:0.2
 //	mcsim -org org2 -lambda 3e-4 -record run.jsonl   # record the workload
 //	mcsim -replay run.jsonl                          # bit-exact re-run
+//	mcsim -org org2 -lambda 4e-4 -telemetry - -telemetry-series tele.csv
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -52,6 +55,8 @@ func main() {
 		links    = flag.String("links", "uniform", "per-tier link technology: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc")
 		record   = flag.String("record", "", "record the generation stream to this trace file (JSONL)")
 		replay   = flag.String("replay", "", "replay a recorded trace instead of generating (ignores workload flags)")
+		teleOut  = flag.String("telemetry", "", `write the per-tier contention report (JSON) to this file ("-" = stdout)`)
+		teleCSV  = flag.String("telemetry-series", "", "write the telemetry time series (CSV) to this file")
 		verbose  = flag.Bool("v", false, "print per-cluster statistics")
 	)
 	flag.Parse()
@@ -115,6 +120,14 @@ func main() {
 			par, *lambda, *mode, *pattern, cfg.Arrival.Name(), cfg.Sizes.Name())
 	}
 
+	wantTele := *teleOut != "" || *teleCSV != ""
+	if wantTele {
+		if *reps > 1 {
+			fatalf("-telemetry/-telemetry-series need -reps 1 (one report per run)")
+		}
+		cfg.Telemetry = &mcsim.TelemetryConfig{}
+	}
+
 	var means stats.Running
 	for rep := 0; rep < *reps; rep++ {
 		if *replay == "" {
@@ -158,7 +171,11 @@ func main() {
 			}
 		}
 		start := time.Now()
-		res, err := mcsim.Run(cfg)
+		sim, err := mcsim.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := sim.Run()
 		if traceWriter != nil {
 			if err := traceWriter.Flush(); err != nil {
 				fatalf("flushing trace: %v", err)
@@ -182,6 +199,23 @@ func main() {
 		if *verbose {
 			for i, pc := range res.PerCluster {
 				fmt.Printf("  cluster %2d: %v\n", i, pc)
+			}
+		}
+		if wantTele {
+			trep := sim.Telemetry().Snapshot()
+			if *teleOut != "" {
+				if err := writeTelemetryJSON(*teleOut, trep); err != nil {
+					fatalf("writing -telemetry: %v", err)
+				}
+				if *teleOut != "-" {
+					fmt.Printf("  telemetry report written to %s\n", *teleOut)
+				}
+			}
+			if *teleCSV != "" {
+				if err := writeTelemetrySeries(*teleCSV, trep); err != nil {
+					fatalf("writing -telemetry-series: %v", err)
+				}
+				fmt.Printf("  telemetry series (%d samples) written to %s\n", len(trep.Series), *teleCSV)
 			}
 		}
 	}
@@ -212,6 +246,59 @@ func parsePattern(spec string) (func(*system.System) traffic.Pattern, error) {
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}
+}
+
+// writeTelemetryJSON renders the contention report as indented JSON to path
+// ("-" = stdout).
+func writeTelemetryJSON(path string, rep mcsim.TelemetryReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// writeTelemetrySeries renders the report's time series as CSV: one row per
+// snapshot with the interval per-tier utilizations.
+func writeTelemetrySeries(path string, rep mcsim.TelemetryReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	header := []string{"events", "time", "in_flight"}
+	for _, name := range mcsim.TierNames() {
+		header = append(header, "util_"+name)
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, p := range rep.Series {
+		row := []string{
+			strconv.FormatUint(p.Events, 10),
+			strconv.FormatFloat(p.Time, 'g', -1, 64),
+			strconv.Itoa(p.InFlight),
+		}
+		for _, u := range p.Util {
+			row = append(row, strconv.FormatFloat(u, 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...interface{}) {

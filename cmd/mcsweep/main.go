@@ -15,6 +15,7 @@
 //	mcsweep -spec demo -arrivals mmpp:16:32 -sizes bimodal:8:128:0.2 -out results/
 //	mcsweep -spec hetero-links -out results/ # per-tier link technology grid
 //	mcsweep -spec demo -links uniform,icn2=0.04/0.02/0.004 -out results/
+//	mcsweep -spec demo -telemetry -out results/  # per-tier contention columns + reports
 //
 // A spec names its axes (organizations, message geometry, traffic patterns,
 // routing policies, arrival processes, message-length distributions, load
@@ -36,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"mcnet/internal/mcsim"
 	"mcnet/internal/sweep"
 )
 
@@ -73,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sizes     = fs.String("sizes", "", "override spec size axis (comma-separated: fixed|bimodal:<short>:<long>:<plong>|geometric:<mean>)")
 		links     = fs.String("links", "", "override spec link-technology axis (comma-separated: uniform|<tier>=<an>/<as>/<bn>[+...] over icn1,ecn1,icn2,conc)")
 		topos     = fs.String("topos", "", "override spec topology axis (comma-separated: fattree|jellyfish[.s<seed>], optionally +fattree|+dragonfly for ICN2)")
+		telemetry = fs.Bool("telemetry", false, "collect per-tier contention telemetry: adds the telemetry CSV columns and writes one report per executed job under <out>/telemetry/<spec>/")
 		verbose   = fs.Bool("v", false, "print one line per job as it finishes instead of the progress ticker")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *topos != "" {
 		spec.Topologies = strings.Split(*topos, ",")
+	}
+	if *telemetry {
+		spec.Telemetry = true
 	}
 	spec = spec.Normalized()
 
@@ -172,6 +178,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	csvSink.Workload = spec.HasWorkloadAxes()
 	csvSink.Links = spec.HasLinkAxis()
 	csvSink.Topology = spec.HasTopologyAxis()
+	csvSink.Telemetry = spec.Telemetry
 	jsonlSink := sweep.NewJSONLSink(jsonlFile)
 
 	start := time.Now()
@@ -179,6 +186,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers: *workers,
 		Cache:   cache,
 		Sinks:   []sweep.Sink{csvSink, jsonlSink},
+	}
+	var teleDir string
+	var teleErr teleError
+	if spec.Telemetry {
+		// One full contention report per executed job (cache hits have no
+		// fresh report — their digest is already in the CSV/JSONL rows).
+		// Workers call the sink concurrently; each job writes its own file.
+		teleDir = filepath.Join(*out, "telemetry", spec.Name)
+		if err := os.MkdirAll(teleDir, 0o755); err != nil {
+			return fmt.Errorf("creating telemetry dir: %v", err)
+		}
+		eng.TelemetrySink = func(j sweep.Job, rep *mcsim.TelemetryReport) {
+			b, err := json.Marshal(rep)
+			if err == nil {
+				err = os.WriteFile(filepath.Join(teleDir, j.Key()[:12]+".json"), append(b, '\n'), 0o644)
+			}
+			if err != nil {
+				teleErr.set(fmt.Errorf("writing telemetry report for %s: %v", j.Key()[:12], err))
+			}
+		}
 	}
 	if *verbose {
 		// Per-job lifecycle lines from the engine's Observer hook replace
@@ -215,10 +242,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := jsonlSink.Flush(); err != nil {
 		return fmt.Errorf("flushing %s: %v", jsonlPath, err)
 	}
+	if err := teleErr.get(); err != nil {
+		return err
+	}
 	fmt.Fprintf(stdout, "sweep %q: %d jobs, %d executed, %d cache hits in %v\n",
 		spec.Name, sum.Total, sum.Executed, sum.CacheHits, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "wrote %s\nwrote %s\n", csvPath, jsonlPath)
+	if teleDir != "" {
+		fmt.Fprintf(stdout, "wrote %d telemetry reports to %s\n", sum.Executed, teleDir)
+	}
 	return nil
+}
+
+// teleError records the first telemetry-sink failure across workers.
+type teleError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *teleError) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *teleError) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 // jobLogger implements sweep.Observer for mcsweep -v: one line per job as

@@ -100,6 +100,36 @@ func TestAllocsMcsimJellyfish(t *testing.T) {
 	})
 }
 
+// TestAllocsMcsimTelemetry pins the telemetry collector's contract: all of
+// its memory (tier tables, histograms, the series ring) is carved out at
+// setup, so the per-event sampling and per-delivery decomposition paths add
+// zero steady-state allocations. Doubling Measure must not move the
+// allocation count (beyond runtime noise); the absolute budget is the
+// plain-run budget plus a fixed collector-setup allowance.
+func TestAllocsMcsimTelemetry(t *testing.T) {
+	run := func(measure int) float64 {
+		cfg := benchConfig(measure)
+		cfg.Telemetry = &mcsim.TelemetryConfig{}
+		return testing.AllocsPerRun(3, func() {
+			if _, err := mcsim.Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; gate runs in the non-race CI lane")
+	}
+	small, large := run(4000), run(8000)
+	// Equality up to scheduling noise: a per-message or per-sample leak
+	// would show up as thousands of allocs at double the Measure, not ±2.
+	if large > small+2 {
+		t.Errorf("telemetry steady state allocates: %.1f allocs at measure=4000 vs %.1f at 8000", small, large)
+	}
+	if budget := 170.0; small > budget {
+		t.Errorf("telemetry-on run: %.1f allocs, budget %.0f", small, budget)
+	}
+}
+
 // TestAllocsMcsimBursty bounds the bursty fast path: MMPP arrivals and a
 // bimodal length mix on the same organization. Variable-M worms draw their
 // path and acquisition buffers from the pooled slabs, and the MMPP per-node

@@ -239,6 +239,19 @@ func Manifest() []Entry {
 				return r.TopologyCompareStudy(system.Table1Org2(), units.Default(), points)
 			},
 		},
+		{
+			Name: "contention", Title: "Extension 6: per-tier blocking shares vs load (Org1+Org2, three topologies)",
+			// No analysis/sim pairs: the study gates itself by returning an
+			// error when the observed bottleneck tier at the highest load
+			// disagrees with the analytic SaturationPoint bottleneck (see
+			// ContentionStudy and BottleneckTiers), which fails the run's
+			// verdict through the study error path.
+			Kind: KindStudy, Small: true, DefaultPoints: 4,
+			SeriesLabels: contentionLabels(),
+			Series: func(r Runner, points int) ([]plot.Series, error) {
+				return r.ContentionStudy(points)
+			},
+		},
 	}
 	// The link-heterogeneity and topology schemas and pairs derive from the
 	// shared config tables, so adding a configuration there extends the gate

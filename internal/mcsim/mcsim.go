@@ -107,6 +107,12 @@ type Config struct {
 	// ProgressEvery is the OnProgress sampling stride in executed events
 	// (0 = 65536). Ignored when OnProgress is nil.
 	ProgressEvery uint64
+	// Telemetry, if non-nil, enables the opt-in contention instrument layer
+	// (per-tier utilization, blocking and occupancy histograms, latency
+	// decomposition, time series — see telemetry.go). Like OnProgress it is
+	// observation-only: a run produces a bit-identical Result with or
+	// without it, and off costs nothing.
+	Telemetry *TelemetryConfig
 }
 
 // Result summarizes one run.
@@ -225,6 +231,9 @@ type Sim struct {
 	msgs     []*message
 	freeMsgs []*message
 	maxHops  int
+	// tele is the opt-in telemetry collector (nil when Config.Telemetry is
+	// nil — the zero-overhead-off invariant hangs on this nil check).
+	tele *Telemetry
 }
 
 // New builds a simulation instance.
@@ -353,6 +362,9 @@ func New(cfg Config) (*Sim, error) {
 	if err := s.setupWorkload(); err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry != nil {
+		s.setupTelemetry()
+	}
 	return s, nil
 }
 
@@ -471,8 +483,10 @@ func (s *Sim) Run() (Result, error) {
 	if maxEvents == 0 {
 		maxEvents = 1 << 40
 	}
-	// With no OnProgress the threshold is the uint64 maximum, so the hot
-	// loop pays exactly one always-false compare per event.
+	// With no OnProgress and no telemetry every threshold is the uint64
+	// maximum, so the hot loop pays exactly one always-false compare per
+	// event (nextWake). Either observer arms its own threshold; nextWake is
+	// their minimum, recomputed only when a threshold fires.
 	nextProgress := ^uint64(0)
 	stride := s.cfg.ProgressEvery
 	if s.cfg.OnProgress != nil {
@@ -480,6 +494,14 @@ func (s *Sim) Run() (Result, error) {
 			stride = 1 << 16
 		}
 		nextProgress = stride
+	}
+	nextSample := ^uint64(0)
+	if s.tele != nil {
+		nextSample = s.tele.stride
+	}
+	nextWake := nextProgress
+	if nextSample < nextWake {
+		nextWake = nextSample
 	}
 	truncated := false
 	for s.measuredDone < s.cfg.Measure {
@@ -493,10 +515,25 @@ func (s *Sim) Run() (Result, error) {
 			// on its own) — unless phase counts exceed generated messages.
 			break
 		}
-		if ev := s.sched.Executed(); ev >= nextProgress {
-			s.cfg.OnProgress(ev, s.sched.Now())
-			nextProgress = ev + stride
+		if ev := s.sched.Executed(); ev >= nextWake {
+			if ev >= nextProgress {
+				s.cfg.OnProgress(ev, s.sched.Now())
+				nextProgress = ev + stride
+			}
+			if ev >= nextSample {
+				s.tele.sample(ev)
+				// Re-read the stride: a series compaction doubles it.
+				nextSample = ev + s.tele.stride
+			}
+			nextWake = nextProgress
+			if nextSample < nextWake {
+				nextWake = nextSample
+			}
 		}
+	}
+	if s.tele != nil {
+		// A final sample pins the report to the run's end state.
+		s.tele.sample(s.sched.Executed())
 	}
 	res := Result{
 		Latency:           s.latency.Summarize(),
@@ -641,6 +678,9 @@ func (s *Sim) deliver(m *message) {
 		s.cfg.OnDeliver(m.id, m.measured, lat)
 	}
 	if m.measured {
+		if s.tele != nil {
+			s.tele.observeDelivery(m, lat)
+		}
 		s.latency.Add(lat)
 		s.sourceWait.Add(m.worm.SourceWait())
 		s.perCluster[m.srcCl].Add(lat)

@@ -183,14 +183,24 @@ func formatSampleValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// MaxFamilySeries bounds how many series one family may expose before
+// LintExposition flags it. A family's label vocabulary is supposed to be a
+// closed set (routes, tiers, dispositions); blowing past this bound is the
+// signature of an unbounded label — a per-channel, per-job or per-request
+// dimension — leaking into the exposition. The bound is generous: the
+// largest legitimate family here (the per-route latency histogram) stays an
+// order of magnitude under it.
+const MaxFamilySeries = 512
+
 // LintExposition validates a text exposition document: every family
 // declares HELP then TYPE exactly once before its samples, names match the
 // conventional shape, samples belong to the family whose metadata most
 // recently opened (histograms may append _bucket/_sum/_count), label pairs
-// are well-formed, and every value parses as a float. It returns the first
-// violation, or nil for a clean document. An empty document is a violation:
-// a scrape that returns nothing is a broken exporter, not a healthy quiet
-// one.
+// are well-formed, every value parses as a float, no sample (name + label
+// set) appears twice, and no family exposes more than MaxFamilySeries
+// series. It returns the first violation, or nil for a clean document. An
+// empty document is a violation: a scrape that returns nothing is a broken
+// exporter, not a healthy quiet one.
 func LintExposition(doc []byte) error {
 	families := make(map[string]*familyState)
 	var cur string
@@ -262,8 +272,20 @@ func LintExposition(doc []byte) error {
 		if name != family && st.kind != "histogram" && st.kind != "summary" {
 			return fmt.Errorf("line %d: sample %s extends non-histogram family %s", lineNo, name, family)
 		}
-		if err := checkSampleRest(rest); err != nil {
+		labels, err := checkSampleRest(rest)
+		if err != nil {
 			return fmt.Errorf("line %d: sample %s: %v", lineNo, name, err)
+		}
+		if st.series == nil {
+			st.series = make(map[string]bool)
+		}
+		if st.series[name+labels] {
+			return fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, labels)
+		}
+		st.series[name+labels] = true
+		if len(st.series) > MaxFamilySeries {
+			return fmt.Errorf("line %d: family %s exposes more than %d series — an unbounded label dimension (export a bounded aggregate, e.g. per-tier instead of per-channel)",
+				lineNo, family, MaxFamilySeries)
 		}
 		samples++
 	}
@@ -278,10 +300,12 @@ func LintExposition(doc []byte) error {
 	return nil
 }
 
-// familyState tracks one family's declared metadata during a lint pass.
+// familyState tracks one family's declared metadata and observed series
+// during a lint pass.
 type familyState struct {
 	help, typ bool
 	kind      string
+	series    map[string]bool // sample name + label block, for dup/cardinality checks
 }
 
 // sampleFamily resolves which declared family a sample name belongs to: the
@@ -315,30 +339,31 @@ func splitSampleName(line string) (name, rest string, err error) {
 }
 
 // checkSampleRest validates the label block (if any) and the value of a
-// sample line's remainder.
-func checkSampleRest(rest string) error {
+// sample line's remainder, returning the verbatim label block (the sample's
+// series identity within its family; "" for an unlabeled sample).
+func checkSampleRest(rest string) (labels string, err error) {
 	if strings.HasPrefix(rest, "{") {
 		end, err := scanLabelBlock(rest)
 		if err != nil {
-			return err
+			return "", err
 		}
-		rest = rest[end:]
+		labels, rest = rest[:end], rest[end:]
 	}
 	value := strings.TrimSpace(rest)
 	if value == "" {
-		return fmt.Errorf("missing value")
+		return labels, fmt.Errorf("missing value")
 	}
 	if strings.ContainsAny(value, " \t") {
-		return fmt.Errorf("trailing data after value %q (timestamps are not part of this contract)", value)
+		return labels, fmt.Errorf("trailing data after value %q (timestamps are not part of this contract)", value)
 	}
 	switch value {
 	case "NaN", "+Inf", "-Inf":
-		return nil
+		return labels, nil
 	}
 	if _, err := strconv.ParseFloat(value, 64); err != nil {
-		return fmt.Errorf("unparseable value %q", value)
+		return labels, fmt.Errorf("unparseable value %q", value)
 	}
-	return nil
+	return labels, nil
 }
 
 // scanLabelBlock validates `{name="value",...}` and returns the index just

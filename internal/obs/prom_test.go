@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -116,6 +117,9 @@ func TestLintCatchesViolations(t *testing.T) {
 		{"suffix on counter", "# HELP a_total x\n# TYPE a_total counter\na_total_bucket 1\n"},
 		{"ungrouped sample", "# HELP a_total x\n# TYPE a_total counter\n# HELP b_total y\n# TYPE b_total counter\na_total 1\n"},
 		{"empty help", "# HELP a_total \n# TYPE a_total counter\na_total 1\n"},
+		{"duplicate bare sample", "# HELP a_total x\n# TYPE a_total counter\na_total 1\na_total 2\n"},
+		{"duplicate labeled sample", "# HELP a_total x\n# TYPE a_total counter\n" +
+			`a_total{t="x"} 1` + "\n" + `a_total{t="x"} 2` + "\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,6 +127,34 @@ func TestLintCatchesViolations(t *testing.T) {
 				t.Fatalf("lint accepted:\n%s", tc.doc)
 			}
 		})
+	}
+}
+
+// TestLintCardinalityCap feeds a family whose label dimension is unbounded
+// (one series per "channel") past MaxFamilySeries and expects rejection —
+// this is the guard that keeps per-channel telemetry out of the exposition.
+// Distinct label values on separate lines below the cap stay legal.
+func TestLintCardinalityCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# HELP chan_busy_total x\n# TYPE chan_busy_total counter\n")
+	for i := 0; i <= MaxFamilySeries; i++ {
+		fmt.Fprintf(&b, "chan_busy_total{channel=\"%d\"} 1\n", i)
+	}
+	err := LintExposition([]byte(b.String()))
+	if err == nil {
+		t.Fatalf("lint accepted %d series in one family", MaxFamilySeries+1)
+	}
+	if !strings.Contains(err.Error(), "unbounded label dimension") {
+		t.Errorf("cardinality error does not name the failure mode: %v", err)
+	}
+
+	var ok strings.Builder
+	ok.WriteString("# HELP tier_busy_total x\n# TYPE tier_busy_total counter\n")
+	for _, tier := range []string{"icn1", "ecn1", "conc", "icn2"} {
+		fmt.Fprintf(&ok, "tier_busy_total{tier=%q} 1\n", tier)
+	}
+	if err := LintExposition([]byte(ok.String())); err != nil {
+		t.Errorf("bounded tier labels rejected: %v", err)
 	}
 }
 

@@ -43,6 +43,9 @@ import (
 const (
 	ManifestFile = "manifest.json"
 	StatusFile   = "STATUS"
+	// ReportFile is the run-relative path of the machine-readable verdict,
+	// written when the analysis phase completes.
+	ReportFile = "analysis/report.json"
 
 	// StatusRunning marks a run in flight (a tree left in this state is
 	// torn: the process died before finishing). StatusDone marks a run that
@@ -396,7 +399,7 @@ func Run(cfg Config) (rep *Report, dir string, err error) {
 	if len(rep.Failures) > 0 {
 		rep.Verdict = "fail"
 	}
-	if err := writeJSON(filepath.Join(dir, "analysis", "report.json"), rep); err != nil {
+	if err := writeJSON(filepath.Join(dir, filepath.FromSlash(ReportFile)), rep); err != nil {
 		return nil, dir, err
 	}
 	logf("pipeline done verdict=%s failures=%d", rep.Verdict, len(rep.Failures))

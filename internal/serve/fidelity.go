@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mcnet/internal/repro"
+)
+
+// fidelityDoc is the GET /v1/fidelity document: the latest reproduction
+// run's machine-readable verdict, straight from its analysis/report.json,
+// plus which run directory it came from and that run's STATUS marker.
+type fidelityDoc struct {
+	Run    string          `json:"run"`
+	Status string          `json:"status"`
+	Report json.RawMessage `json:"report"`
+}
+
+// handleFidelity implements GET /v1/fidelity: it serves the newest run under
+// the configured paper_runs root that has produced an analysis report (run
+// stamps sort lexicographically by creation time, and a still-RUNNING or
+// crashed run without a report is skipped in favor of the last complete
+// one). With no run tree — or no run that reached analysis — it answers 404
+// with instructions rather than an empty verdict.
+func (s *Server) handleFidelity(w http.ResponseWriter, r *http.Request) {
+	root := s.cfg.PaperRuns
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		writeError(w, http.StatusNotFound,
+			"no reproduction run tree at %q: run cmd/mcrepro (or make repro-small) to produce one", root)
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		b, err := os.ReadFile(filepath.Join(dir, repro.ReportFile))
+		if err != nil || !json.Valid(b) {
+			continue
+		}
+		writeJSON(w, http.StatusOK, fidelityDoc{
+			Run:    dir,
+			Status: repro.ReadStatus(dir),
+			Report: json.RawMessage(b),
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound,
+		"no reproduction run under %q has an analysis report yet: let cmd/mcrepro finish (or run make repro-small)", root)
+}

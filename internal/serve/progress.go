@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcnet/internal/mcsim"
 	"mcnet/internal/sweep"
 )
 
@@ -16,6 +17,11 @@ type jobProgress struct {
 	start   time.Time
 	events  atomic.Uint64
 	simTime atomic.Uint64 // float64 bits
+	// tele is the run's live contention collector, published once the
+	// simulator is constructed (mcsim.Telemetry snapshots are safe against
+	// the running event loop). GET /v1/jobs/{id}/telemetry reads it while
+	// the job runs.
+	tele atomic.Pointer[mcsim.Telemetry]
 }
 
 // update is the mcsim.Config.OnProgress callback.

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 
+	"mcnet/internal/mcsim"
 	"mcnet/internal/obs"
 	"mcnet/internal/sweep"
 )
@@ -65,6 +66,33 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 
 	e.Family("mcserved_simulations_executed_total", "counter", "Simulations actually run (cache misses that executed).")
 	e.Sample(nil, float64(s.executed.Load()))
+
+	// Per-tier contention aggregates from executed simulations' telemetry.
+	// The tier vocabulary is the closed four-tier set; per-channel series
+	// would be unbounded cardinality and are deliberately not exported.
+	busy, blocking, grants, teleRuns, teleMessages := s.teleTotals.snapshot()
+	tierNames := mcsim.TierNames()
+	e.Family("mcserved_sim_tier_busy_time_total", "counter",
+		"Channel busy time accumulated per tier across executed simulations (simulated time units).")
+	for i, name := range tierNames {
+		e.Sample([]obs.Label{{Name: "tier", Value: name}}, busy[i])
+	}
+	e.Family("mcserved_sim_tier_blocking_time_total", "counter",
+		"Wormhole blocking time attributed per tier across executed simulations (simulated time units).")
+	for i, name := range tierNames {
+		e.Sample([]obs.Label{{Name: "tier", Value: name}}, blocking[i])
+	}
+	e.Family("mcserved_sim_tier_grants_total", "counter",
+		"Channel grants per tier across executed simulations.")
+	for i, name := range tierNames {
+		e.Sample([]obs.Label{{Name: "tier", Value: name}}, grants[i])
+	}
+	e.Family("mcserved_sim_telemetry_runs_total", "counter",
+		"Executed simulations whose telemetry was folded into the tier counters.")
+	e.Sample(nil, float64(teleRuns))
+	e.Family("mcserved_sim_messages_measured_total", "counter",
+		"Measured messages delivered across executed simulations.")
+	e.Sample(nil, teleMessages)
 
 	e.Family("mcserved_engine_jobs_started_total", "counter", "Sweep-engine jobs picked up by a worker.")
 	e.Sample(nil, float64(s.engineStarted.Load()))

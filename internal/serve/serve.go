@@ -17,8 +17,13 @@
 //	GET  /v1/jobs/{id}     job status and result. Job ids are content hashes
 //	                       of the canonicalized request, so resubmitting an
 //	                       identical request addresses the same job.
+//	GET  /v1/jobs/{id}/telemetry  the job's per-tier contention breakdown:
+//	                       a live snapshot while the simulation runs, the
+//	                       frozen end-of-run report once it finishes.
 //	POST /v1/sweep         a sweep.Spec, streamed back as NDJSON rows in job
 //	                       order as jobs complete.
+//	GET  /v1/fidelity      the latest reproduction run's machine-readable
+//	                       verdict (paper_runs/<stamp>/analysis/report.json).
 //	GET  /healthz          liveness.
 //	GET  /metrics          request counts, latency quantiles, cache hit
 //	                       ratio, queue depth.
@@ -52,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcnet/internal/mcsim"
 	"mcnet/internal/obs"
 	"mcnet/internal/sweep"
 )
@@ -83,6 +89,10 @@ type Config struct {
 	// ConcurrentSweeps bounds simultaneously streaming sweeps; further ones
 	// are rejected with 429 (0 = 2).
 	ConcurrentSweeps int
+	// PaperRuns is the reproduction-pipeline run-tree root behind
+	// GET /v1/fidelity ("" = "paper_runs"). The endpoint serves the latest
+	// run's machine-readable verdict and 404s when no run tree exists.
+	PaperRuns string
 	// Logger, if non-nil, receives structured telemetry: one access-log
 	// line per request and one lifecycle line per job transition, each
 	// carrying the request's correlation id. nil disables logging entirely
@@ -115,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConcurrentSweeps <= 0 {
 		c.ConcurrentSweeps = 2
+	}
+	if c.PaperRuns == "" {
+		c.PaperRuns = "paper_runs"
 	}
 	return c
 }
@@ -149,6 +162,11 @@ type Server struct {
 	// progress tracks live per-job simulator probes by Job.Key, surfaced on
 	// GET /v1/jobs/{id} while a job runs.
 	progress progressTable
+	// teleReports retains finished runs' full contention reports by Job.Key
+	// for GET /v1/jobs/{id}/telemetry; teleTotals aggregates per-tier
+	// counters across executed simulations for the Prometheus exposition.
+	teleReports *lruCache
+	teleTotals  teleTotals
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -167,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 		sweepSem:         make(chan struct{}, cfg.ConcurrentSweeps),
 		logger:           cfg.Logger,
 		engineJobSeconds: obs.NewHistogram(engineJobBuckets),
+		teleReports:      newLRU(cfg.CacheSize),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -184,7 +203,9 @@ func New(cfg Config) (*Server, error) {
 		{"POST /v1/simulate", s.handleSimulate},
 		{"POST /v1/compare", s.handleCompare},
 		{"GET /v1/jobs/{id}", s.handleJobGet},
+		{"GET /v1/jobs/{id}/telemetry", s.handleJobTelemetry},
 		{"POST /v1/sweep", s.handleSweep},
+		{"GET /v1/fidelity", s.handleFidelity},
 	}
 	names := make([]string, len(routes))
 	for i, r := range routes {
@@ -292,10 +313,24 @@ func (s *Server) outcome(j sweep.Job) (sweep.Outcome, bool, error) {
 		} else {
 			// Register a live progress probe for the duration of the run:
 			// GET /v1/jobs/{id} of a running job reports events, events/sec
-			// and simulated time sampled from the event loop.
+			// and simulated time sampled from the event loop. Executions run
+			// with contention telemetry on (the cost is setup-only), feeding
+			// the live and finished views of GET /v1/jobs/{id}/telemetry and
+			// the per-tier Prometheus counters.
 			p := s.progress.begin(key)
-			o, err = sweep.ExecuteObserved(j, 0, p.update)
+			var rep *mcsim.TelemetryReport
+			o, rep, err = sweep.ExecuteOpts(j, sweep.ExecOptions{
+				OnProgress: p.update,
+				Telemetry:  &mcsim.TelemetryConfig{},
+				OnTelemetry: func(t *mcsim.Telemetry) {
+					p.tele.Store(t)
+				},
+			})
 			s.progress.end(key)
+			if rep != nil {
+				s.teleReports.Put(key, rep)
+				s.teleTotals.add(rep)
+			}
 		}
 		if err != nil {
 			return nil, err

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"mcnet/internal/mcsim"
 )
 
 // Outcome is the cached product of one job: the simulation measurements.
@@ -26,6 +28,12 @@ type Outcome struct {
 	// exhausted event budget (extreme saturation).
 	Delivered int  `json:"delivered"`
 	Truncated bool `json:"truncated"`
+	// Telemetry is the per-tier contention digest, present only when the
+	// job ran with telemetry enabled (Spec.Telemetry). The omitempty keeps
+	// telemetry-off cache files and serialized results byte-identical to
+	// previous versions; a cached outcome without it does not satisfy a
+	// telemetry-requesting run (the engine re-executes and re-stores).
+	Telemetry *mcsim.TelemetrySummary `json:"telemetry,omitempty"`
 }
 
 // Cache stores job outcomes by content key. Implementations must be safe for

@@ -66,6 +66,12 @@ type Engine struct {
 	// emitted), the Observer sees events as they happen, from whichever
 	// worker they happen on — it must be safe for concurrent use.
 	Observer Observer
+	// TelemetrySink, if non-nil, receives each executed job's full
+	// simulator telemetry report when the spec enables telemetry (the
+	// outcome itself carries only the summary digest). Like the Observer it
+	// is called from whichever worker ran the job — it must be safe for
+	// concurrent use. Cache hits produce no report.
+	TelemetrySink func(Job, *mcsim.TelemetryReport)
 }
 
 // Observer receives engine job lifecycle events. JobStarted fires when a
@@ -163,7 +169,7 @@ func (e *Engine) RunJobsContext(ctx context.Context, spec Spec, jobs []Job) (Sum
 		go func() {
 			defer wg.Done()
 			for pos := range in {
-				res, err := e.runJob(ctx, jobs[pos])
+				res, err := e.runJob(ctx, jobs[pos], spec.Telemetry)
 				select {
 				case out <- indexed{pos, res, err}:
 				case <-abort:
@@ -240,23 +246,28 @@ func (e *Engine) RunJobsContext(ctx context.Context, spec Spec, jobs []Job) (Sum
 
 // runJob satisfies one job from the cache or by running the simulator (or
 // the engine's Exec hook).
-func (e *Engine) runJob(ctx context.Context, j Job) (Result, error) {
+func (e *Engine) runJob(ctx context.Context, j Job, telemetry bool) (Result, error) {
 	var start time.Time
 	if e.Observer != nil {
 		start = time.Now()
 		e.Observer.JobStarted(j)
 	}
-	res, err := e.runJobInner(ctx, j)
+	res, err := e.runJobInner(ctx, j, telemetry)
 	if e.Observer != nil && err == nil {
 		e.Observer.JobFinished(j, res.Cached, time.Since(start).Seconds())
 	}
 	return res, err
 }
 
-func (e *Engine) runJobInner(ctx context.Context, j Job) (Result, error) {
+func (e *Engine) runJobInner(ctx context.Context, j Job, telemetry bool) (Result, error) {
 	key := j.Key()
 	if e.Cache != nil {
-		if o, ok := e.Cache.Get(key); ok {
+		if o, ok := e.Cache.Get(key); ok && (!telemetry || o.Telemetry != nil) {
+			// A telemetry-requesting run treats a summary-less cached outcome
+			// as a miss: the measurements would match, but the contention
+			// digest the caller asked for does not exist and cannot be
+			// reconstructed. Re-executing stores the enriched outcome, whose
+			// measurements are bit-identical (telemetry is observation-only).
 			return Result{Job: j, Outcome: o, Cached: true}, nil
 		}
 	}
@@ -266,11 +277,19 @@ func (e *Engine) runJobInner(ctx context.Context, j Job) (Result, error) {
 	if testHookJobStart != nil {
 		testHookJobStart(j)
 	}
-	exec := e.Exec
-	if exec == nil {
-		exec = Execute
+	var o Outcome
+	var err error
+	if e.Exec != nil {
+		o, err = e.Exec(j)
+	} else if telemetry {
+		var rep *mcsim.TelemetryReport
+		o, rep, err = ExecuteOpts(j, ExecOptions{Telemetry: &mcsim.TelemetryConfig{}})
+		if err == nil && e.TelemetrySink != nil {
+			e.TelemetrySink(j, rep)
+		}
+	} else {
+		o, err = Execute(j)
 	}
-	o, err := exec(j)
 	if err != nil {
 		return Result{}, err
 	}
@@ -292,39 +311,71 @@ func Execute(j Job) (Outcome, error) {
 // executed events (0 = the simulator's default stride). The probe has no
 // effect on the outcome — ExecuteObserved(j, 0, nil) is exactly Execute(j).
 func ExecuteObserved(j Job, every uint64, onProgress func(events uint64, simTime float64)) (Outcome, error) {
+	o, _, err := ExecuteOpts(j, ExecOptions{ProgressEvery: every, OnProgress: onProgress})
+	return o, err
+}
+
+// ExecOptions parameterizes ExecuteOpts. The zero value is plain Execute.
+type ExecOptions struct {
+	// OnProgress, if non-nil, samples the run's liveness about every
+	// ProgressEvery executed events (0 = the simulator's default stride).
+	ProgressEvery uint64
+	OnProgress    func(events uint64, simTime float64)
+	// Telemetry, if non-nil, enables the simulator's contention instrument:
+	// the returned outcome carries the summary digest and ExecuteOpts
+	// returns the full report. Observation-only — the measurements are
+	// bit-identical with or without it.
+	Telemetry *mcsim.TelemetryConfig
+	// OnTelemetry, if non-nil (and Telemetry is set), receives the live
+	// collector before the run starts, so a serving layer can snapshot a
+	// simulation in flight.
+	OnTelemetry func(*mcsim.Telemetry)
+}
+
+// ExecuteOpts runs one job's simulation with optional observation hooks.
+// The returned report is nil unless opt.Telemetry is set.
+func ExecuteOpts(j Job, opt ExecOptions) (Outcome, *mcsim.TelemetryReport, error) {
 	org, err := j.TopoOrg()
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	pattern, err := ParsePattern(j.Pattern)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	mode, err := ParseRouting(j.Routing)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	arrival, err := workload.ParseArrival(j.Arrival)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	sizes, err := workload.ParseSize(j.SizeDist)
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	par, err := j.Params()
 	if err != nil {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
-	res, err := mcsim.Run(mcsim.Config{
+	sim, err := mcsim.New(mcsim.Config{
 		Org: org, Par: par, LambdaG: j.Lambda,
 		Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
 		Seed: j.SimSeed, Pattern: pattern, RoutingMode: mode,
 		Arrival: arrival, Sizes: sizes,
-		OnProgress: onProgress, ProgressEvery: every,
+		OnProgress: opt.OnProgress, ProgressEvery: opt.ProgressEvery,
+		Telemetry: opt.Telemetry,
 	})
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	if opt.OnTelemetry != nil && sim.Telemetry() != nil {
+		opt.OnTelemetry(sim.Telemetry())
+	}
+	res, err := sim.Run()
 	if err != nil && !res.Truncated {
-		return Outcome{}, err
+		return Outcome{}, nil, err
 	}
 	// Truncated runs (extreme saturation) still carry partial measurements;
 	// report them rather than failing the sweep.
@@ -338,7 +389,13 @@ func ExecuteObserved(j Job, every uint64, onProgress func(events uint64, simTime
 	if res.DeliveredMeasured == 0 {
 		o.SimLatency = Float(math.NaN())
 	}
-	return o, nil
+	var rep *mcsim.TelemetryReport
+	if t := sim.Telemetry(); t != nil {
+		r := t.Snapshot()
+		rep = &r
+		o.Telemetry = r.Summary()
+	}
+	return o, rep, nil
 }
 
 // analysisPoint is one precomputed analytic latency.

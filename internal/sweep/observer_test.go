@@ -37,7 +37,7 @@ func (o *countingObserver) JobFinished(j Job, cached bool, seconds float64) {
 // warm (fully cached) rerun reports every job as a cache hit, and
 // started == finished both times.
 func TestObserverSeesEveryJob(t *testing.T) {
-	cache := make(mapCache)
+	cache := newMapCache()
 	spec := tinySpec()
 
 	cold := &countingObserver{}
@@ -102,15 +102,25 @@ func TestExecuteObservedIdentity(t *testing.T) {
 	}
 }
 
-// mapCache is an in-memory Cache for tests.
-type mapCache map[string]Outcome
+// mapCache is an in-memory Cache for tests. The engine calls Get/Put from
+// concurrent workers, so even the test double needs the lock.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]Outcome
+}
 
-func (c mapCache) Get(key string) (Outcome, bool) {
-	o, ok := c[key]
+func newMapCache() *mapCache { return &mapCache{m: make(map[string]Outcome)} }
+
+func (c *mapCache) Get(key string) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.m[key]
 	return o, ok
 }
 
-func (c mapCache) Put(key string, o Outcome) error {
-	c[key] = o
+func (c *mapCache) Put(key string, o Outcome) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = o
 	return nil
 }

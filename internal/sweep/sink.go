@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"mcnet/internal/mcsim"
 )
 
 // Sink receives sweep results. The engine calls Write sequentially and in
@@ -37,6 +39,15 @@ var CSVLinksColumns = []string{"links"}
 // (see CSVSink.Topology).
 var CSVTopologyColumns = []string{"topology"}
 
+// CSVTelemetryColumns are the extra columns a telemetry-aware sink appends
+// (see CSVSink.Telemetry): per-tier mean utilization and blocking share,
+// the latency decomposition means, and the observed bottleneck tier.
+var CSVTelemetryColumns = []string{
+	"util_icn1", "util_ecn1", "util_conc", "util_icn2",
+	"blockfrac_icn1", "blockfrac_ecn1", "blockfrac_conc", "blockfrac_icn2",
+	"mean_queueing", "mean_blocking", "mean_transmission", "bottleneck_tier",
+}
+
 // CSVSink streams results as CSV rows (RFC 4180 quoting: organization specs
 // contain commas). Output is deterministic: floats use the shortest exact
 // decimal representation and NaN prints as "NaN".
@@ -55,6 +66,12 @@ type CSVSink struct {
 	// Spec.HasTopologyAxis by the CLI), so fat-tree-only sweeps keep their
 	// schema byte for byte.
 	Topology bool
+	// Telemetry, when set before the first Write, appends the
+	// CSVTelemetryColumns. Opt-in (keyed off Spec.Telemetry by the CLI and
+	// NewSpecCSVSink), so telemetry-off sweeps keep their schema byte for
+	// byte. Rows whose outcome carries no telemetry digest (e.g. cache hits
+	// from telemetry-off runs) print NaN/empty values.
+	Telemetry bool
 
 	w      *csv.Writer
 	headed bool
@@ -76,7 +93,7 @@ func (s *CSVSink) Write(r Result) error {
 	if !s.headed {
 		s.headed = true
 		header := CSVHeader
-		if s.Workload || s.Links || s.Topology {
+		if s.Workload || s.Links || s.Topology || s.Telemetry {
 			header = append([]string{}, CSVHeader...)
 			if s.Workload {
 				header = append(header, CSVWorkloadColumns...)
@@ -86,6 +103,9 @@ func (s *CSVSink) Write(r Result) error {
 			}
 			if s.Topology {
 				header = append(header, CSVTopologyColumns...)
+			}
+			if s.Telemetry {
+				header = append(header, CSVTelemetryColumns...)
 			}
 		}
 		if err := s.w.Write(header); err != nil {
@@ -110,7 +130,45 @@ func (s *CSVSink) Write(r Result) error {
 	if s.Topology {
 		row = append(row, j.TopoName())
 	}
+	if s.Telemetry {
+		row = append(row, telemetryColumns(r.Telemetry)...)
+	}
 	return s.w.Write(row)
+}
+
+// telemetryColumns renders an outcome's telemetry digest as the
+// CSVTelemetryColumns values (NaN/empty when the outcome has none).
+func telemetryColumns(t *mcsim.TelemetrySummary) []string {
+	nan := formatFloat(math.NaN())
+	row := make([]string, 0, len(CSVTelemetryColumns))
+	for _, name := range mcsim.TierNames() {
+		if ts := tierOrNil(t, name); ts != nil {
+			row = append(row, formatFloat(ts.Utilization))
+		} else {
+			row = append(row, nan)
+		}
+	}
+	for _, name := range mcsim.TierNames() {
+		if ts := tierOrNil(t, name); ts != nil {
+			row = append(row, formatFloat(ts.BlockingFraction))
+		} else {
+			row = append(row, nan)
+		}
+	}
+	if t != nil {
+		row = append(row, formatFloat(t.MeanQueueing), formatFloat(t.MeanBlocking),
+			formatFloat(t.MeanTransmission), t.Bottleneck)
+	} else {
+		row = append(row, nan, nan, nan, "")
+	}
+	return row
+}
+
+func tierOrNil(t *mcsim.TelemetrySummary, name string) *mcsim.TierSummary {
+	if t == nil {
+		return nil
+	}
+	return t.TierByName(name)
 }
 
 // Flush drains the buffer to the underlying writer.
@@ -162,6 +220,7 @@ func NewSpecCSVSink(dir string, spec Spec) (*CSVSink, func() error, error) {
 	sink.Workload = spec.HasWorkloadAxes()
 	sink.Links = spec.HasLinkAxis()
 	sink.Topology = spec.HasTopologyAxis()
+	sink.Telemetry = spec.Telemetry
 	closeFn := func() error {
 		ferr := sink.Flush()
 		if cerr := f.Close(); ferr == nil {

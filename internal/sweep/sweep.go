@@ -130,6 +130,12 @@ type Spec struct {
 	// "calibrated" (default), "paper-literal", or "none" to skip analysis.
 	// The simulation outcome (and its cache key) never depends on it.
 	Model string `json:"model,omitempty"`
+	// Telemetry enables the simulator's per-tier contention instrument for
+	// every job: outcomes carry a TelemetrySummary and telemetry-aware sinks
+	// append the CSVTelemetryColumns. Like Model it is not part of the job
+	// identity — the measurements are bit-identical either way — so cached
+	// outcomes, seeds and golden fixtures are unaffected.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// Tech optionally overrides the technology parameters (default: the
 	// paper's §4 values).
 	Tech *Tech `json:"tech,omitempty"`

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcnet/internal/mcsim"
+	"mcnet/internal/system"
+	"mcnet/internal/workload"
+)
+
+// TestTelemetryReplayBitExact records a telemetry-enabled run and replays it
+// from the serialized trace with telemetry on again: both the Result and the
+// full marshaled TelemetryReport must match byte for byte. Telemetry reads
+// the same deterministic event stream, so any divergence means the collector
+// perturbed the simulation or depends on wall-clock state.
+func TestTelemetryReplayBitExact(t *testing.T) {
+	spec := Spec{
+		Name:   "tele-rt",
+		Orgs:   []string{"m=4:2x1,2x2@2"},
+		Loads:  Loads{Lambdas: []float64{4e-4}},
+		Warmup: 50, Measure: 400, Drain: 50,
+		Model: "none",
+	}
+	jobs, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+
+	org, err := system.ParseOrganization(j.Org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := j.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := workload.NewWriter(&buf, j.TraceHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mcsim.Config{
+		Org: org, Par: par,
+		LambdaG: j.Lambda, Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
+		Seed:      j.SimSeed,
+		Telemetry: &mcsim.TelemetryConfig{},
+		Record: func(e workload.Event) {
+			if err := w.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	sim, err := mcsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	origRep, err := json.Marshal(sim.Telemetry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := workload.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCfg, err := ReplayConfig(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCfg.Telemetry = &mcsim.TelemetryConfig{}
+	rsim, err := mcsim.New(repCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rsim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != orig.Latency || rep.SourceWait != orig.SourceWait || rep.Events != orig.Events {
+		t.Fatalf("replayed run diverged:\n original %+v (%d events)\n replayed %+v (%d events)",
+			orig.Latency, orig.Events, rep.Latency, rep.Events)
+	}
+	replayRep, err := json.Marshal(rsim.Telemetry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(origRep, replayRep) {
+		t.Errorf("telemetry report diverged across replay:\n original %s\n replayed %s", origRep, replayRep)
+	}
+}

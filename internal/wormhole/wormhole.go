@@ -108,6 +108,15 @@ func (w *Worm) SourceWait() float64 {
 	return w.acq[0] - w.InjectedAt
 }
 
+// Acquired exposes the grant timestamps of the current flight, one per
+// channel the header has acquired so far (len == len(Path) at delivery).
+// The returned slice is the worm's internal buffer: treat it as read-only;
+// it is valid until the next Reset. Together with the per-channel flit
+// times it lets an observer decompose the worm's latency into queueing,
+// per-hop blocking and transmission without any per-event instrumentation:
+// the wait for channel i+1 is acq[i+1] − (acq[i] + ft_i).
+func (w *Worm) Acquired() []float64 { return w.acq }
+
 // fifo is a FIFO of waiting worm slots, threaded intrusively through the
 // network's waitNext table: a worm waits for at most one channel at a time,
 // so one next-pointer per in-flight slot suffices for every queue in the
@@ -215,6 +224,18 @@ func (n *Network) Utilization(c int32) float64 {
 		total += now - n.ch[c].busySince
 	}
 	return total / now
+}
+
+// BusyTime returns the total time channel c has been held in [0, now],
+// including the currently open holding interval (Utilization without the
+// division, for observers that aggregate busy time across channels before
+// normalizing).
+func (n *Network) BusyTime(c int32) float64 {
+	total := n.ch[c].busyTotal
+	if n.ch[c].busy {
+		total += n.sched.Now() - n.ch[c].busySince
+	}
+	return total
 }
 
 // Grants returns how many times channel c was acquired.
